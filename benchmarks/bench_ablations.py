@@ -1,0 +1,86 @@
+"""Ablations on Rhythm's design choices (DESIGN.md §5).
+
+Not a paper figure — these isolate the value of (1) component
+distinguishability, (2) the Eq. 4 contribution definition, (3) the
+hardware/software isolation stack, and (4) CutBE's shedding escalation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import (
+    run_contribution_definition_ablation,
+    run_cut_escalation_ablation,
+    run_distinguishability_ablation,
+    run_isolation_ablation,
+)
+from repro.experiments.report import render_table
+
+from conftest import run_once
+
+
+def test_ablation_component_distinguishability(benchmark):
+    result = run_once(benchmark, run_distinguishability_ablation)
+    print()
+    print(render_table(
+        ["System", "EMU", "BE tput", "violations"],
+        [
+            ["Rhythm (per-Servpod)", round(result.rhythm_emu, 3),
+             round(result.rhythm_be_throughput, 3), result.rhythm_violations],
+            ["uniform (worst-case thresholds)", round(result.uniform_emu, 3),
+             round(result.uniform_be_throughput, 3), result.uniform_violations],
+        ],
+        title="Ablation 1 — the value of distinguishing components",
+    ))
+    print(f"EMU gain from distinguishability: {result.emu_gain:+.1%}")
+    # Distinguishing components buys throughput at equal safety.
+    assert result.rhythm_emu >= result.uniform_emu
+    assert result.rhythm_violations == 0
+
+
+def test_ablation_contribution_definition(benchmark):
+    result = run_once(benchmark, run_contribution_definition_ablation)
+    print()
+    print(render_table(
+        ["Definition", "corr. with sensitivity"],
+        [[name, round(r, 3)] for name, r in result.correlations.items()],
+        title="Ablation 2 — candidate contribution definitions (§3.4)",
+    ))
+    # The paper's Eq. 4 (rho*P*V) is at least as predictive as the
+    # simpler candidates.
+    eq4 = result.correlations["rho*P*V (Eq.4)"]
+    assert eq4 >= result.correlations["P"]
+    assert eq4 >= result.correlations["P*V"] - 0.02
+
+
+def test_ablation_isolation_mechanisms(benchmark):
+    rows = run_once(benchmark, run_isolation_ablation)
+    print()
+    print(render_table(
+        ["Isolation", "worst p99/SLA", "violations", "BE tput"],
+        [[r.label, round(r.worst_tail_over_sla, 2), r.sla_violations,
+          round(r.be_throughput, 3)] for r in rows],
+        title="Ablation 3 — isolation mechanisms (§4)",
+    ))
+    by = {r.label: r for r in rows}
+    # Disabling isolation strictly worsens the worst tail.
+    assert by["no CAT"].worst_tail_over_sla > by["full isolation"].worst_tail_over_sla
+    assert (by["no CAT, no cpuset"].worst_tail_over_sla
+            >= by["no CAT"].worst_tail_over_sla - 0.05)
+
+
+def test_ablation_cut_escalation(benchmark):
+    result = run_once(benchmark, run_cut_escalation_ablation)
+    print()
+    print(render_table(
+        ["CutBE variant", "violations", "worst p99/SLA"],
+        [
+            ["shrink + pause escalation", result.with_escalation_violations,
+             round(result.with_escalation_worst, 2)],
+            ["shrink only", result.without_escalation_violations,
+             round(result.without_escalation_worst, 2)],
+        ],
+        title="Ablation 4 — CutBE shedding escalation",
+    ))
+    # The escalation keeps more headroom under production ramps.
+    assert result.with_escalation_worst <= result.without_escalation_worst
+    assert result.with_escalation_violations <= result.without_escalation_violations

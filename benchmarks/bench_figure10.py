@@ -1,0 +1,42 @@
+"""Figure 10 — CPU utilisation at the showcased Servpods (shares the
+Figures 9-11 grid, computed once per session)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures.figure9_11 import SHOWCASED_SERVPODS, average_gain
+from repro.experiments.report import render_heatmap
+
+from conftest import run_once, servpod_grid
+
+
+def test_figure10_cpu_utilisation(benchmark):
+    rows = run_once(benchmark, servpod_grid)
+
+    print()
+    for system in ("Rhythm", "Heracles"):
+        values = {}
+        for r in rows:
+            if r.system == system:
+                key = (f"{r.servpod}", f"{int(r.load * 100)}%")
+                values[key] = max(values.get(key, 0.0), r.cpu_utilisation * 100)
+        print(render_heatmap(
+            [p for _, p in SHOWCASED_SERVPODS],
+            [f"{int(l * 100)}%" for l in sorted({r.load for r in rows})],
+            values,
+            title=f"Figure 10 — max CPU utilisation (%) under {system}",
+        ))
+
+    # At 85% load Rhythm keeps the machines busier than Heracles (which
+    # runs LC only there).
+    for _, pod in SHOWCASED_SERVPODS:
+        rhythm = max(r.cpu_utilisation for r in rows
+                     if r.servpod == pod and r.system == "Rhythm" and r.load == 0.85)
+        heracles = max(r.cpu_utilisation for r in rows
+                       if r.servpod == pod and r.system == "Heracles" and r.load == 0.85)
+        assert rhythm > heracles
+
+    # CPU-heavy BEs drive the highest utilisation (paper: CPU-stress and
+    # LSTM reach ~70-80% at low LC load).
+    cpu_heavy = max(r.cpu_utilisation for r in rows
+                    if r.be_job in ("CPU-stress", "LSTM") and r.system == "Rhythm")
+    assert cpu_heavy > 0.5

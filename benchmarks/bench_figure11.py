@@ -1,0 +1,45 @@
+"""Figure 11 — memory-bandwidth utilisation at the showcased Servpods
+(shares the Figures 9-11 grid, computed once per session)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures.figure9_11 import SHOWCASED_SERVPODS
+from repro.experiments.report import render_heatmap
+
+from conftest import run_once, servpod_grid
+
+
+def test_figure11_membw_utilisation(benchmark):
+    rows = run_once(benchmark, servpod_grid)
+
+    print()
+    values = {}
+    for r in rows:
+        if r.system == "Rhythm":
+            key = (r.servpod, r.be_job[:12])
+            values[key] = max(values.get(key, 0.0), r.membw_utilisation * 100)
+    print(render_heatmap(
+        [p for _, p in SHOWCASED_SERVPODS],
+        sorted({r.be_job[:12] for r in rows}),
+        values,
+        title="Figure 11 — max MemBW utilisation (%) under Rhythm, per BE",
+    ))
+
+    # Memory-system stressors drive far more bandwidth than CPU-stress
+    # (paper: stream co-location reaches ~80%+, CPU-stress stays low).
+    for _, pod in SHOWCASED_SERVPODS:
+        stream = max(r.membw_utilisation for r in rows
+                     if r.servpod == pod and r.system == "Rhythm"
+                     and r.be_job == "stream-dram")
+        cpu = max(r.membw_utilisation for r in rows
+                  if r.servpod == pod and r.system == "Rhythm"
+                  and r.be_job == "CPU-stress")
+        assert stream > cpu
+
+    # At 85% load Rhythm still uses bandwidth where Heracles idles.
+    for _, pod in SHOWCASED_SERVPODS:
+        rhythm = max(r.membw_utilisation for r in rows
+                     if r.servpod == pod and r.system == "Rhythm" and r.load == 0.85)
+        heracles = max(r.membw_utilisation for r in rows
+                       if r.servpod == pod and r.system == "Heracles" and r.load == 0.85)
+        assert rhythm >= heracles

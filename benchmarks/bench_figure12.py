@@ -1,0 +1,41 @@
+"""Figure 12 — service-level EMU improvements under constant load."""
+
+from __future__ import annotations
+
+from repro.experiments.figures.figure12_14 import improvement_table
+from repro.experiments.report import render_table
+
+from conftest import run_once, service_grid
+
+
+def test_figure12_emu_improvement(benchmark):
+    rows = run_once(benchmark, service_grid)
+
+    table = improvement_table(rows, "emu_improvement")
+    paper = {"E-commerce": 0.116, "Redis": 0.184, "Solr": 0.246,
+             "Elgg": 0.14, "Elasticsearch": 0.127}
+    print()
+    print(render_table(
+        ["Service", "avg EMU improvement", "paper"],
+        [[s, f"{v:+.1%}", f"+{paper[s]:.1%}"] for s, v in table.items()],
+        title="Figure 12 — (EMU_Rhythm − EMU_Heracles) / EMU_Heracles",
+    ))
+
+    # Rhythm improves (or at worst matches) EMU on average per service.
+    for service, improvement in table.items():
+        assert improvement > -0.02, f"{service} regressed: {improvement:+.2%}"
+    # Somewhere the gain is meaningful. (Smaller than the paper's
+    # +11.6..24.6% averages: in this simulation both systems saturate the
+    # same BE instance caps at low/mid loads, so the gains concentrate in
+    # the >= 85%-load column — see EXPERIMENTS.md.)
+    assert max(table.values()) > 0.02
+
+    # Gains concentrate at high load: the 85% column beats the 25% one.
+    def avg_at(load):
+        vals = [r.emu_improvement for r in rows if r.load == load]
+        return sum(vals) / len(vals)
+
+    assert avg_at(0.85) > avg_at(0.25)
+
+    # Rhythm never violates the SLA in any constant-load cell.
+    assert all(r.rhythm_violations == 0 for r in rows)

@@ -1,0 +1,32 @@
+"""Figure 13 — CPU-utilisation improvements (shares the Fig. 12-14 grid)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures.figure12_14 import improvement_table
+from repro.experiments.report import render_table
+
+from conftest import run_once, service_grid
+
+
+def test_figure13_cpu_improvement(benchmark):
+    rows = run_once(benchmark, service_grid)
+
+    table = improvement_table(rows, "cpu_improvement")
+    print()
+    print(render_table(
+        ["Service", "avg CPU-util improvement"],
+        [[s, f"{v:+.1%}"] for s, v in table.items()],
+        title="Figure 13 — (CPU_Rhythm − CPU_Heracles) / CPU_Heracles",
+    ))
+
+    # At the 85% column Rhythm's CPU utilisation beats Heracles' in every
+    # service (Heracles runs LC only there).
+    for service in table:
+        cells = [r for r in rows if r.service == service and r.load == 0.85]
+        assert all(c.cpu_rhythm >= c.cpu_heracles for c in cells)
+
+    # CPU-heavy BEs (LSTM, CPU-stress) reach the highest absolute
+    # utilisation under Rhythm (paper: >70% even at low LC load).
+    cpu_cells = [r.cpu_rhythm for r in rows if r.be_job in ("CPU-stress", "LSTM")]
+    other_cells = [r.cpu_rhythm for r in rows if r.be_job == "stream-dram"]
+    assert max(cpu_cells) > max(other_cells)

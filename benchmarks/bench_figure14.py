@@ -1,0 +1,32 @@
+"""Figure 14 — MemBW-utilisation improvements (shares the Fig. 12-14 grid)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures.figure12_14 import improvement_table
+from repro.experiments.report import render_table
+
+from conftest import run_once, service_grid
+
+
+def test_figure14_membw_improvement(benchmark):
+    rows = run_once(benchmark, service_grid)
+
+    table = improvement_table(rows, "membw_improvement")
+    print()
+    print(render_table(
+        ["Service", "avg MemBW-util improvement"],
+        [[s, f"{v:+.1%}"] for s, v in table.items()],
+        title="Figure 14 — (MeB_Rhythm − MeB_Heracles) / MeB_Heracles",
+    ))
+
+    # At 85% load Rhythm's bandwidth utilisation is at least Heracles'.
+    for service in table:
+        cells = [r for r in rows if r.service == service and r.load == 0.85]
+        assert all(c.membw_rhythm >= c.membw_heracles - 1e-9 for c in cells)
+
+    # Bandwidth-hungry BEs (stream-dram, wordcount) show the largest
+    # absolute bandwidth use (paper: the stream-dram/wordcount columns
+    # dominate Figure 14).
+    hungry = [r.membw_rhythm for r in rows if r.be_job in ("stream-dram", "wordcount")]
+    light = [r.membw_rhythm for r in rows if r.be_job == "CPU-stress"]
+    assert max(hungry) > max(light)

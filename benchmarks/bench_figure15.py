@@ -1,0 +1,43 @@
+"""Figure 15 — production-load heatmaps and the safety panel (§5.3.1)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures.figure15 import worst_safety_cell
+from repro.experiments.report import render_heatmap
+
+from conftest import production_grid, run_once
+
+
+def test_figure15_production_load(benchmark):
+    rows = run_once(benchmark, production_grid)
+
+    services = sorted({r.service for r in rows})
+    bes = sorted({r.be_job for r in rows})
+    print()
+    for metric, title in (
+        ("emu_improvement", "Figure 15a — EMU improvement (%)"),
+        ("cpu_improvement", "Figure 15b — CPU-util improvement (%)"),
+        ("membw_improvement", "Figure 15c — MemBW-util improvement (%)"),
+        ("worst_p99_over_sla", "Figure 15d — worst p99 / SLA"),
+    ):
+        scale = 100.0 if metric.endswith("improvement") else 1.0
+        fmt = "{:6.1f}" if scale == 100.0 else "{:6.2f}"
+        print(render_heatmap(
+            services, [b[:12] for b in bes],
+            {(r.service, r.be_job[:12]): getattr(r, metric) * scale for r in rows},
+            title=title, fmt=fmt,
+        ))
+
+    # Panel (d): Rhythm strictly guards the SLA in every cell — the
+    # paper's worst cell is 0.99 x SLA with zero violations.
+    worst = worst_safety_cell(rows)
+    print(f"worst safety cell: {worst.service}/{worst.be_job} "
+          f"= {worst.worst_p99_over_sla:.2f} x SLA")
+    assert worst.worst_p99_over_sla <= 1.0
+    assert all(r.rhythm_violations == 0 for r in rows)
+    assert all(r.be_kills == 0 for r in rows)
+
+    # Rhythm's EMU improves on Heracles on average across the grid.
+    mean_emu = sum(r.emu_improvement for r in rows) / len(rows)
+    print(f"mean EMU improvement: {mean_emu:+.2%}")
+    assert mean_emu > 0.0

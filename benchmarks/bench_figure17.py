@@ -1,0 +1,50 @@
+"""Figure 17 — the runtime control timeline (§5.4.1)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.experiments.figures.figure17 import run_figure17
+from repro.experiments.report import render_table
+
+from conftest import run_once
+
+
+def test_figure17_timeline(benchmark):
+    data = run_once(benchmark, run_figure17)
+
+    print()
+    for pod in data.servpods:
+        samples = data.samples[pod]
+        step = max(1, len(samples) // 16)
+        print(render_table(
+            ["t", "load", "slack", "BE cores", "BE LLC", "BE inst", "BE rate", "action"],
+            [[int(s.t), round(s.load, 2), round(s.slack, 2), s.be_cores,
+              s.be_llc_ways, s.be_instances, round(s.be_rate, 2), s.action]
+             for s in samples[::step]],
+            title=(f"Figure 17 — {pod} timeline (loadlimit="
+                   f"{data.loadlimit[pod]:.2f}, slacklimit={data.slacklimit[pod]:.2f})"),
+        ))
+
+    for pod in data.servpods:
+        actions = Counter(data.actions(pod))
+        samples = data.samples[pod]
+        # The controller both grows BEs and reacts to the diurnal peak.
+        assert actions["AllowBEGrowth"] > 0
+        assert actions["SuspendBE"] + actions["CutBE"] + actions["DisallowBEGrowth"] > 0
+        # SuspendBE fires exactly when the load metric crosses the
+        # loadlimit (and the tail is within the SLA).
+        for s in samples:
+            if s.action == "SuspendBE":
+                assert s.load > data.loadlimit[pod]
+        # BE state actually varies over the day (growth + shedding).
+        cores = [s.be_cores for s in samples]
+        assert max(cores) > min(cores)
+        # No SLA violation across the run (no StopBE storm).
+        assert all(s.slack >= 0 or s.action == "StopBE" for s in samples)
+
+    # MySQL (loadlimit 0.78) suspends earlier/more often than Tomcat
+    # (loadlimit 0.88) under the same trace.
+    mysql_suspends = Counter(data.actions("mysql"))["SuspendBE"]
+    tomcat_suspends = Counter(data.actions("tomcat"))["SuspendBE"]
+    assert mysql_suspends >= tomcat_suspends

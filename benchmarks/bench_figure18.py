@@ -1,0 +1,36 @@
+"""Figure 18 — BE throughput vs loadlimit/slacklimit setting (§5.4.2)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures.figure18 import normalized_throughput, run_figure18
+from repro.experiments.report import render_table
+
+from conftest import run_once
+
+
+def test_figure18_threshold_tradeoff(benchmark):
+    rows = run_once(benchmark, run_figure18)
+
+    print()
+    print(render_table(
+        ["varied", "level", "value", "BE tput", "normalized"],
+        [[r.varied, f"{r.level:.0%}", round(r.value, 3), round(r.be_throughput, 3),
+          round(normalized_throughput(rows, r.varied)[r.level], 3)]
+         for r in rows],
+        title="Figure 18 — BE throughput vs threshold setting",
+    ))
+
+    # Loadlimit: throughput rises with the limit while it stays <= the
+    # derived value (more co-location headroom before suspension).
+    loadlimit_rows = {r.level: r for r in rows if r.varied == "loadlimit"}
+    assert loadlimit_rows[0.7].be_throughput <= loadlimit_rows[1.0].be_throughput
+
+    # The 130% loadlimit cell is absent when it would exceed 1.0 (the
+    # paper's "-" cells).
+    assert 1.3 not in loadlimit_rows or loadlimit_rows[1.3].value <= 1.0
+
+    # The derived setting (100%) is violation-free for both thresholds.
+    for varied in ("slacklimit", "loadlimit"):
+        derived = next(r for r in rows if r.varied == varied and r.level == 1.0)
+        assert derived.sla_violations == 0
+        assert derived.be_kills == 0

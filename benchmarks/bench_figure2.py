@@ -1,0 +1,52 @@
+"""Figure 2 — inconsistent interference tolerance of LC components (§2)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures.figure2 import increase_matrix, run_figure2
+from repro.experiments.report import render_heatmap
+
+from conftest import run_once
+
+
+def test_figure2_component_characterization(benchmark):
+    rows = run_once(benchmark, run_figure2)
+
+    for service in ("Redis", "E-commerce"):
+        matrix = increase_matrix(rows, service)
+        kinds = sorted(next(iter(matrix.values())))
+        print()
+        print(render_heatmap(
+            sorted(matrix), [k[:14] for k in kinds],
+            {(comp, kind[:14]): matrix[comp][kind]
+             for comp in matrix for kind in kinds},
+            title=f"Figure 2 — p99 increase (%) averaged over loads: {service}",
+        ))
+
+    redis = increase_matrix(rows, "Redis")
+    ecom = increase_matrix(rows, "E-commerce")
+
+    # Master is far more sensitive than Slave under LLC pressure (the
+    # paper reports a > 28x gap for stream-llc(big)).
+    assert redis["master"]["stream_llc(big)"] > 20 * redis["slave"]["stream_llc(big)"]
+    # ... and under DRAM pressure.
+    assert redis["master"]["stream_dram(big)"] > 5 * redis["slave"]["stream_dram(big)"]
+    # MySQL >> Tomcat for stream-dram(big); Tomcat >> MySQL for DVFS.
+    assert ecom["mysql"]["stream_dram(big)"] > 2 * ecom["tomcat"]["stream_dram(big)"]
+    assert ecom["tomcat"]["DVFS"] > 2 * ecom["mysql"]["DVFS"]
+    # Big variants hurt more than small ones, everywhere.
+    for matrix in (redis, ecom):
+        for comp in matrix:
+            assert matrix[comp]["stream_dram(big)"] > matrix[comp]["stream_dram(small)"]
+            assert matrix[comp]["stream_llc(big)"] > matrix[comp]["stream_llc(small)"]
+
+    # Degradation grows with load in every (component, interference) group
+    # (up to sampling noise on near-immune groups, where the increase is a
+    # fraction of a percent either way).
+    by_group = {}
+    for row in rows:
+        by_group.setdefault((row.service, row.component, row.interference), []).append(
+            (row.load, row.increase_pct)
+        )
+    for series in by_group.values():
+        series.sort()
+        assert series[-1][1] >= series[0][1] - 1.0

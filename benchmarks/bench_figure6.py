@@ -1,0 +1,43 @@
+"""Figure 6 — solo-run sojourn means and normalized CoV (E-commerce)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures.figure6 import run_figure6
+from repro.experiments.report import render_table
+
+from conftest import run_once
+
+
+def test_figure6_sojourn_statistics(benchmark):
+    data = run_once(benchmark, run_figure6)
+
+    pods = list(data.mean_sojourns)
+    sample = range(0, len(data.loads), 4)
+    print()
+    print(render_table(
+        ["load"] + pods + ["p99"],
+        [[data.loads[j]] + [round(data.mean_sojourns[p][j], 2) for p in pods]
+         + [round(data.p99[j], 1)] for j in sample],
+        title="Figure 6a — mean sojourn (ms) per Servpod vs load",
+    ))
+    print(render_table(
+        ["load"] + pods,
+        [[data.loads[j]] + [round(data.normalized_cov[p][j], 3) for p in pods]
+         for j in sample],
+        title="Figure 6b — normalized CoV share per Servpod vs load",
+    ))
+
+    # HAProxy: < 5% of the latency but > 20% of the normalized variance.
+    assert data.latency_share("haproxy") < 0.05
+    assert data.variance_share("haproxy") > 0.20
+    # Amoeba is small and the most stable of the four.
+    assert data.latency_share("amoeba") < 0.15
+    assert data.variance_share("amoeba") == min(
+        data.variance_share(p) for p in pods
+    )
+    # MySQL's mean overtakes Tomcat's at high load...
+    assert data.mean_sojourns["mysql"][-1] > data.mean_sojourns["tomcat"][-1]
+    # ... and MySQL stays noisier than Tomcat throughout.
+    assert data.variance_share("mysql") > data.variance_share("tomcat")
+    # The p99 curve rises with load.
+    assert data.p99[-1] > 3 * data.p99[0]

@@ -1,0 +1,31 @@
+"""Figure 7 — Servpod sensitivity vs contribution (§3.4 validation)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures.figure7 import correlation_by_be, run_figure7
+from repro.experiments.report import render_table
+
+from conftest import run_once
+
+
+def test_figure7_sensitivity_vs_contribution(benchmark):
+    rows = run_once(benchmark, run_figure7)
+
+    print()
+    print(render_table(
+        ["BE", "Servpod", "contribution", "sensitivity"],
+        [[r.be_kind, r.servpod, round(r.contribution, 4), round(r.sensitivity, 3)]
+         for r in rows],
+        title="Figure 7 — sensitivity vs contribution scatter",
+    ))
+    correlations = correlation_by_be(rows)
+    print(render_table(
+        ["BE panel", "Pearson r"],
+        [[k, round(v, 3)] for k, v in correlations.items()],
+        title="Per-panel correlation (paper: positive in all four panels)",
+    ))
+
+    # The paper's validation: sensitivity is positively correlated with
+    # contribution no matter which BE generates the interference.
+    for be_kind, r in correlations.items():
+        assert r > 0.5, f"panel {be_kind} not positively correlated (r={r})"

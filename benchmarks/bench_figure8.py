@@ -1,0 +1,35 @@
+"""Figure 8 — CoV-vs-load curves and the derived loadlimits."""
+
+from __future__ import annotations
+
+from repro.experiments.figures.figure8 import run_figure8
+from repro.experiments.report import render_table
+
+from conftest import run_once
+
+
+def test_figure8_loadlimit_derivation(benchmark):
+    data = run_once(benchmark, run_figure8)
+
+    print()
+    print(render_table(
+        ["Servpod", "mean CoV", "loadlimit", "paper"],
+        [
+            ["mysql", round(data.mean_cov["mysql"], 3), data.loadlimit["mysql"], "0.76"],
+            ["tomcat", round(data.mean_cov["tomcat"], 3), data.loadlimit["tomcat"], "0.87"],
+            ["haproxy", round(data.mean_cov["haproxy"], 3), data.loadlimit["haproxy"], "-"],
+            ["amoeba", round(data.mean_cov["amoeba"], 3), data.loadlimit["amoeba"], "-"],
+        ],
+        title="Figure 8 — loadlimit = first load whose CoV exceeds the average",
+    ))
+
+    # Paper values: MySQL 0.76, Tomcat 0.87.
+    assert abs(data.loadlimit["mysql"] - 0.76) <= 0.05
+    assert abs(data.loadlimit["tomcat"] - 0.87) <= 0.05
+    assert data.loadlimit["mysql"] < data.loadlimit["tomcat"]
+
+    # The CoV curves rise past their knees: the last point is well above
+    # the first for both plotted Servpods.
+    for pod in ("mysql", "tomcat"):
+        covs = data.covs[pod]
+        assert covs[-1] > 1.5 * covs[0]

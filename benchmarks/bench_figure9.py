@@ -1,0 +1,48 @@
+"""Figure 9 — BE throughput at the showcased Servpods, Rhythm vs Heracles."""
+
+from __future__ import annotations
+
+from repro.experiments.figures.figure9_11 import SHOWCASED_SERVPODS, average_gain
+from repro.experiments.report import render_table
+
+from conftest import run_once, servpod_grid
+
+
+def test_figure9_be_throughput(benchmark):
+    rows = run_once(benchmark, servpod_grid)
+
+    print()
+    for _, pod in SHOWCASED_SERVPODS:
+        subset = [r for r in rows if r.servpod == pod]
+        print(render_table(
+            ["BE", "load", "Rhythm", "Heracles"],
+            [
+                [r.be_job, r.load, round(r.be_throughput, 3),
+                 round(next(h.be_throughput for h in subset
+                            if h.be_job == r.be_job and h.load == r.load
+                            and h.system == "Heracles"), 3)]
+                for r in subset if r.system == "Rhythm"
+            ],
+            title=f"Figure 9 — normalized BE throughput at {pod}",
+        ))
+
+    # Heracles runs no BE jobs at the 85% grid point; Rhythm does at
+    # every showcased Servpod (their loadlimits are 0.87-0.93).
+    for _, pod in SHOWCASED_SERVPODS:
+        heracles_85 = [
+            r.be_throughput for r in rows
+            if r.servpod == pod and r.system == "Heracles" and r.load == 0.85
+        ]
+        rhythm_85 = [
+            r.be_throughput for r in rows
+            if r.servpod == pod and r.system == "Rhythm" and r.load == 0.85
+        ]
+        assert max(heracles_85) == 0.0
+        assert max(rhythm_85) > 0.0
+
+    # Average BE-throughput gain is non-negative at every Servpod (the
+    # paper reports +0.185..0.41).
+    for _, pod in SHOWCASED_SERVPODS:
+        gain = average_gain(rows, pod, "be_throughput")
+        print(f"avg BE-throughput gain at {pod}: {gain:+.3f}")
+        assert gain >= -0.01

@@ -1,0 +1,35 @@
+"""Table 1 — the LC/BE workload catalog."""
+
+from __future__ import annotations
+
+from repro.experiments.figures.table1 import table1_rows
+from repro.experiments.report import render_table
+
+from conftest import run_once
+
+
+def test_table1_workload_catalog(benchmark):
+    lc_rows, be_rows = run_once(benchmark, table1_rows)
+
+    print()
+    print(render_table(
+        ["Workload", "Domain", "Servpods", "MaxLoad", "SLA", "Containers"],
+        [[r.workload, r.domain, r.servpods, r.max_load, r.sla, r.containers]
+         for r in lc_rows],
+        title="Table 1 (LC workloads)",
+    ))
+    print(render_table(
+        ["Workload", "Domain", "-intensive"],
+        [[r.workload, r.domain, r.intensive] for r in be_rows],
+        title="Table 1 (BE jobs)",
+    ))
+
+    # Paper row count: 6 LC services (incl. SNMS), 7 BE jobs (+2 small
+    # stream variants used by the §2 characterization).
+    assert len(lc_rows) == 6
+    assert len(be_rows) == 9
+    by_name = {r.workload: r for r in lc_rows}
+    assert by_name["E-commerce"].max_load == "1300 QPS"
+    assert by_name["Redis"].max_load == "86K QPS"
+    assert by_name["Redis"].sla == "1.15 ms"
+    assert by_name["SNMS"].containers == 30

@@ -1,0 +1,43 @@
+"""Table 2 — SLA violations and BE kills when detuning the thresholds."""
+
+from __future__ import annotations
+
+from repro.experiments.figures.figure18 import run_figure18
+from repro.experiments.report import render_table
+
+from conftest import run_once
+
+
+def test_table2_sla_violations_and_kills(benchmark):
+    rows = run_once(benchmark, run_figure18)
+
+    print()
+    print(render_table(
+        ["Varied", "Level", "Value", "SLA violations", "BE kills"],
+        [[r.varied, f"{r.level:.0%}", round(r.value, 3), r.sla_violations,
+          r.be_kills] for r in rows],
+        title="Table 2 — safety cost of detuned thresholds",
+    ))
+
+    by = {(r.varied, r.level): r for r in rows}
+
+    # The derived thresholds (100% level) are safe.
+    assert by[("slacklimit", 1.0)].sla_violations == 0
+    assert by[("loadlimit", 1.0)].sla_violations == 0
+
+    # Raising the loadlimit past the derived value (110%/120%) lets BE
+    # jobs run into MySQL's danger zone: violations and kills appear
+    # (paper: 12 and 14 violations).
+    overshoot = [by[("loadlimit", lvl)] for lvl in (1.1, 1.2) if ("loadlimit", lvl) in by]
+    assert sum(r.sla_violations for r in overshoot) > 0
+    assert sum(r.be_kills for r in overshoot) > 0
+
+    # Raising the slacklimit (more conservative) never violates.
+    for lvl in (1.1, 1.2, 1.3):
+        if ("slacklimit", lvl) in by:
+            assert by[("slacklimit", lvl)].sla_violations == 0
+
+    # Violations and kills arrive together (a violation triggers StopBE).
+    for r in rows:
+        if r.sla_violations > 0:
+            assert r.be_kills > 0

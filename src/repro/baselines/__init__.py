@@ -1,0 +1,13 @@
+"""Baseline controllers the paper compares against.
+
+- :mod:`repro.baselines.heracles` — Heracles (Lo et al., ISCA'15) as the
+  paper re-implements it: the same feedback loop and subcontrollers as
+  Rhythm, but with *uniform* thresholds at every machine (loadlimit 0.85,
+  slacklimit 0.10) and no per-Servpod distinction.
+- :mod:`repro.baselines.static` — non-colocating references (LC solo).
+"""
+
+from repro.baselines.heracles import HeraclesPolicy, heracles_controllers
+from repro.baselines.static import LcSoloPolicy
+
+__all__ = ["HeraclesPolicy", "heracles_controllers", "LcSoloPolicy"]

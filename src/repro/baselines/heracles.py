@@ -1,0 +1,57 @@
+"""The Heracles baseline (§5.1).
+
+Heracles is a feedback-based co-location controller that does *not*
+distinguish Servpods. As re-implemented by the paper for comparison:
+
+1. it disables BE jobs at **all** machines whenever the LC load reaches
+   85% of MaxLoad, and
+2. it disallows BE growth whenever the slack between the current tail
+   latency and the SLA target is below 10%.
+
+Structurally that is Algorithm 2 with ``loadlimit = 0.85`` and
+``slacklimit = 0.10`` at every machine — which is exactly how we build
+it, so every measured difference between systems comes from Rhythm's
+per-Servpod thresholds and nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.top_controller import ControllerThresholds, TopController
+from repro.workloads.spec import ServiceSpec
+
+
+@dataclass(frozen=True)
+class HeraclesPolicy:
+    """Heracles' uniform thresholds."""
+
+    loadlimit: float = 0.85
+    slacklimit: float = 0.10
+
+    def thresholds(self) -> ControllerThresholds:
+        """The same thresholds, for any machine."""
+        return ControllerThresholds(
+            loadlimit=self.loadlimit, slacklimit=self.slacklimit
+        )
+
+
+def heracles_controllers(
+    service: ServiceSpec, policy: HeraclesPolicy = HeraclesPolicy()
+) -> Dict[str, TopController]:
+    """One uniformly-configured controller per Servpod machine.
+
+    ``suspend_on_load_at_or_above`` is set so that at exactly 85% load
+    Heracles runs no BE jobs, matching the zero-throughput bars at the
+    85% grid point of Figures 9–11.
+    """
+    return {
+        pod: TopController(
+            servpod=pod,
+            thresholds=policy.thresholds(),
+            sla_ms=service.sla_ms,
+            suspend_on_load_at_or_above=True,
+        )
+        for pod in service.servpod_names
+    }

@@ -1,0 +1,39 @@
+"""Non-colocating reference policies.
+
+``LcSoloPolicy`` runs the LC service alone — the reference the paper's
+Figure 16 shades as "the EMU or resource utilization of LC itself", and
+the baseline against which *any* co-location gain is measured.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.actions import BeAction
+from repro.core.top_controller import ControllerThresholds, TopController
+from repro.workloads.spec import ServiceSpec
+
+
+class _SoloController(TopController):
+    """A controller that never allows any BE job to run."""
+
+    def decide(self, load: float, tail_ms: float, t=None) -> BeAction:
+        """Always stop BE jobs, regardless of load or slack."""
+        if t is not None:
+            self._history.append((t, BeAction.STOP_BE))
+        return BeAction.STOP_BE
+
+
+class LcSoloPolicy:
+    """Factory for solo-run (no co-location) controllers."""
+
+    def controllers(self, service: ServiceSpec) -> Dict[str, TopController]:
+        """One always-stop controller per Servpod machine."""
+        return {
+            pod: _SoloController(
+                servpod=pod,
+                thresholds=ControllerThresholds(loadlimit=1.0, slacklimit=1.0),
+                sla_ms=service.sla_ms,
+            )
+            for pod in service.servpod_names
+        }

@@ -1,0 +1,52 @@
+"""Best-effort (BE) batch jobs.
+
+BE jobs matter to the co-location controller through two couplings:
+
+1. the *pressure* they put on shared resources (which degrades LC tail
+   latency through :mod:`repro.interference`), and
+2. the *throughput* they achieve given the resources a controller grants
+   them (which drives EMU and utilisation metrics).
+
+Both are modeled here: :class:`~repro.bejobs.spec.BeJobSpec` captures a
+job's solo-run usage profile, :class:`~repro.bejobs.job.BeJob` tracks the
+runtime state of one instance, and :func:`~repro.bejobs.job.compute_be_rates`
+turns machine allocations into normalized progress rates.
+"""
+
+from repro.bejobs.spec import BeJobSpec, BeIntensity
+from repro.bejobs.job import BeJob, BeJobState, compute_be_rates, LcUsage
+from repro.bejobs.catalog import (
+    BE_CATALOG,
+    CPU_STRESS,
+    STREAM_LLC,
+    STREAM_LLC_SMALL,
+    STREAM_DRAM,
+    STREAM_DRAM_SMALL,
+    IPERF,
+    WORDCOUNT,
+    IMAGE_CLASSIFY,
+    LSTM,
+    be_job_spec,
+    evaluation_be_jobs,
+)
+
+__all__ = [
+    "BeJobSpec",
+    "BeIntensity",
+    "BeJob",
+    "BeJobState",
+    "LcUsage",
+    "compute_be_rates",
+    "BE_CATALOG",
+    "CPU_STRESS",
+    "STREAM_LLC",
+    "STREAM_LLC_SMALL",
+    "STREAM_DRAM",
+    "STREAM_DRAM_SMALL",
+    "IPERF",
+    "WORDCOUNT",
+    "IMAGE_CLASSIFY",
+    "LSTM",
+    "be_job_spec",
+    "evaluation_be_jobs",
+]

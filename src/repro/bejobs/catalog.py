@@ -1,0 +1,139 @@
+"""The BE job catalog from Table 1 of the paper.
+
+Four synthetic stressors (CPU-stress, stream-llc, stream-dram, iperf) put
+strong pressure on one resource; three real workloads (Wordcount,
+ImageClassify, LSTM) put mixed pressure on several. ``stream-llc`` and
+``stream-dram`` come in ``big`` (saturate the resource) and ``small``
+(occupy half of it) variants, used in the §2 characterization (Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bejobs.spec import BeIntensity, BeJobSpec
+from repro.errors import ConfigurationError
+
+CPU_STRESS = BeJobSpec(
+    name="CPU-stress",
+    domain="CPU stress testing tool",
+    intensity=BeIntensity.CPU,
+    solo_usage={"cpu": 1.0, "llc": 0.05, "membw": 0.05},
+    saturation_cores=40,
+    memory_gb=1.0,
+    unit_seconds=10.0,
+)
+
+STREAM_LLC = BeJobSpec(
+    name="stream-llc",
+    domain="LLC-benchmark in iBench (big: saturates the LLC)",
+    intensity=BeIntensity.LLC,
+    solo_usage={"cpu": 0.2, "llc": 1.0, "membw": 0.35},
+    saturation_cores=8,
+    memory_gb=2.0,
+    unit_seconds=9.0,
+)
+
+STREAM_LLC_SMALL = BeJobSpec(
+    name="stream-llc-small",
+    domain="LLC-benchmark in iBench (small: occupies half the LLC)",
+    intensity=BeIntensity.LLC,
+    solo_usage={"cpu": 0.15, "llc": 0.5, "membw": 0.2},
+    saturation_cores=6,
+    memory_gb=1.0,
+    unit_seconds=9.0,
+)
+
+STREAM_DRAM = BeJobSpec(
+    name="stream-dram",
+    domain="DRAM-benchmark in iBench (big: saturates DRAM bandwidth)",
+    intensity=BeIntensity.DRAM,
+    solo_usage={"cpu": 0.25, "llc": 0.3, "membw": 1.0},
+    saturation_cores=16,
+    memory_gb=4.0,
+    unit_seconds=9.0,
+)
+
+STREAM_DRAM_SMALL = BeJobSpec(
+    name="stream-dram-small",
+    domain="DRAM-benchmark in iBench (small: occupies half the bandwidth)",
+    intensity=BeIntensity.DRAM,
+    solo_usage={"cpu": 0.15, "llc": 0.2, "membw": 0.5},
+    saturation_cores=6,
+    memory_gb=2.0,
+    unit_seconds=9.0,
+)
+
+IPERF = BeJobSpec(
+    name="iperf",
+    domain="Network stress testing tool",
+    intensity=BeIntensity.NETWORK,
+    solo_usage={"cpu": 0.1, "membw": 0.05, "net": 1.0},
+    saturation_cores=4,
+    memory_gb=0.5,
+    unit_seconds=8.0,
+)
+
+WORDCOUNT = BeJobSpec(
+    name="wordcount",
+    domain="Big data analytics",
+    intensity=BeIntensity.MIXED,
+    solo_usage={"cpu": 0.8, "llc": 0.4, "membw": 0.6, "net": 0.1},
+    saturation_cores=32,
+    memory_gb=8.0,
+    unit_seconds=14.0,
+)
+
+IMAGE_CLASSIFY = BeJobSpec(
+    name="imageClassify",
+    domain="Image classification on CycleGAN",
+    intensity=BeIntensity.MIXED,
+    solo_usage={"cpu": 0.9, "llc": 0.5, "membw": 0.45},
+    saturation_cores=36,
+    memory_gb=6.0,
+    unit_seconds=18.0,
+)
+
+LSTM = BeJobSpec(
+    name="LSTM",
+    domain="Deep learning on Tensorflow",
+    intensity=BeIntensity.MIXED,
+    solo_usage={"cpu": 0.95, "llc": 0.35, "membw": 0.5},
+    saturation_cores=38,
+    memory_gb=8.0,
+    unit_seconds=20.0,
+)
+
+#: Every catalogued BE job, keyed by name.
+BE_CATALOG: Dict[str, BeJobSpec] = {
+    spec.name: spec
+    for spec in (
+        CPU_STRESS,
+        STREAM_LLC,
+        STREAM_LLC_SMALL,
+        STREAM_DRAM,
+        STREAM_DRAM_SMALL,
+        IPERF,
+        WORDCOUNT,
+        IMAGE_CLASSIFY,
+        LSTM,
+    )
+}
+
+
+def be_job_spec(name: str) -> BeJobSpec:
+    """Look up a BE job spec by name."""
+    try:
+        return BE_CATALOG[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown BE job {name!r}; known: {sorted(BE_CATALOG)}"
+        ) from None
+
+
+def evaluation_be_jobs() -> List[BeJobSpec]:
+    """The six BE jobs used throughout the paper's §5 evaluation grids.
+
+    (The small stream variants appear only in the §2 characterization.)
+    """
+    return [STREAM_LLC, STREAM_DRAM, CPU_STRESS, LSTM, IMAGE_CLASSIFY, WORDCOUNT]

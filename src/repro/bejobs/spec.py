@@ -1,0 +1,105 @@
+"""BE job specifications.
+
+A :class:`BeJobSpec` describes how a batch job behaves when it runs
+*alone* on a whole machine: which fraction of each shared resource it
+uses (``solo_usage``), and how many cores it needs before its bottleneck
+resource saturates (``saturation_cores``). Runtime throughput under an
+arbitrary allocation follows from this profile via a Leontief
+(fixed-proportions) production model in :mod:`repro.bejobs.job`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+#: Shared-resource dimensions a BE job can stress.
+BE_RESOURCES = ("cpu", "llc", "membw", "net")
+
+
+class BeIntensity(enum.Enum):
+    """Which shared resource a BE job predominantly stresses (Table 1)."""
+
+    CPU = "CPU"
+    LLC = "LLC"
+    DRAM = "DRAM"
+    NETWORK = "Network"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class BeJobSpec:
+    """Static description of a BE batch job.
+
+    Attributes
+    ----------
+    name:
+        Catalog name, e.g. ``"stream-dram"``.
+    domain:
+        Human description from Table 1.
+    intensity:
+        Dominant resource (Table 1's "-intensive" column).
+    solo_usage:
+        Fraction of machine capacity used per resource when the job runs
+        alone with every core, e.g. ``{"cpu": 1.0, "membw": 0.15, ...}``.
+        Missing keys default to 0. The ``cpu`` entry must be > 0 — every
+        job needs cores to make progress.
+    saturation_cores:
+        Number of cores at which the job's bottleneck resource saturates;
+        beyond this, extra cores add no throughput for stream-type jobs.
+    memory_gb:
+        Working-set size of one instance.
+    unit_seconds:
+        Solo-run wall-clock seconds to finish one work unit with the whole
+        machine (simulation-scaled: ~10 s units so several units finish
+        within a few-minute experiment). Used to convert progress into
+        completed units; work on an unfinished unit is lost on a kill.
+    """
+
+    name: str
+    domain: str
+    intensity: BeIntensity
+    solo_usage: Dict[str, float] = field(default_factory=dict)
+    saturation_cores: int = 40
+    memory_gb: float = 2.0
+    unit_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        for key, value in self.solo_usage.items():
+            if key not in BE_RESOURCES:
+                raise ConfigurationError(f"{self.name}: unknown resource {key!r}")
+            if not (0.0 <= value <= 1.0):
+                raise ConfigurationError(
+                    f"{self.name}: solo usage of {key} must be in [0,1], got {value}"
+                )
+        if self.solo_usage.get("cpu", 0.0) <= 0.0:
+            raise ConfigurationError(f"{self.name}: cpu solo usage must be > 0")
+        if self.saturation_cores <= 0:
+            raise ConfigurationError(f"{self.name}: saturation_cores must be > 0")
+        if self.unit_seconds <= 0:
+            raise ConfigurationError(f"{self.name}: unit_seconds must be > 0")
+
+    def usage(self, resource: str) -> float:
+        """Solo-run usage fraction for ``resource`` (0 if unlisted)."""
+        if resource not in BE_RESOURCES:
+            raise ConfigurationError(f"unknown resource {resource!r}")
+        return self.solo_usage.get(resource, 0.0)
+
+    def demand_fraction(self, resource: str, cores: int, total_cores: int) -> float:
+        """Demand on ``resource`` (fraction of machine) with ``cores`` cores.
+
+        Demand ramps linearly in cores until ``saturation_cores`` and is
+        flat afterwards — e.g. stream-dram saturates DRAM bandwidth with a
+        handful of cores, while CPU-stress scales to every core.
+        """
+        if cores <= 0:
+            return 0.0
+        solo = self.usage(resource)
+        if resource == "cpu":
+            # CPU demand is simply the allocated core fraction.
+            return min(1.0, cores / total_cores)
+        ramp = min(1.0, cores / self.saturation_cores)
+        return solo * ramp

@@ -1,0 +1,230 @@
+"""Command-line interface.
+
+Exposes the library's main entry points without writing Python::
+
+    python -m repro list                      # catalogued workloads
+    python -m repro profile E-commerce        # thresholds for one service
+    python -m repro compare E-commerce stream-dram --load 0.85
+    python -m repro production E-commerce stream-dram --duration 600
+    python -m repro trace E-commerce --requests 100
+
+Every command prints the same text tables the benchmarks produce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bejobs.catalog import BE_CATALOG, be_job_spec
+from repro.errors import ReproError
+from repro.experiments.colocation import ColocationConfig
+from repro.experiments.report import render_table
+from repro.experiments.runner import compare_systems, get_rhythm
+from repro.loadgen.clarknet import clarknet_production_load
+from repro.workloads.catalog import LC_CATALOG, lc_service_spec
+from repro.workloads.microservices import snms_service
+from repro.workloads.spec import ServiceSpec
+
+
+def _service(name: str) -> ServiceSpec:
+    if name == "SNMS":
+        return snms_service()
+    return lc_service_spec(name)
+
+
+def _profiling_mode(service: ServiceSpec) -> str:
+    # SNMS ships its own tracer (jaeger), per the paper.
+    return "jaeger" if service.name == "SNMS" else "direct"
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """List the catalogued LC services and BE jobs."""
+    lc_rows = []
+    for name in list(LC_CATALOG) + ["SNMS"]:
+        spec = _service(name)
+        lc_rows.append([
+            spec.name, spec.domain, ",".join(spec.servpod_names),
+            f"{spec.max_load_qps:g} QPS", f"{spec.sla_ms:g} ms",
+        ])
+    print(render_table(
+        ["Service", "Domain", "Servpods", "MaxLoad", "SLA"], lc_rows,
+        title="LC services (Table 1)",
+    ))
+    print()
+    print(render_table(
+        ["BE job", "Domain", "-intensive"],
+        [[s.name, s.domain, s.intensity.value] for s in BE_CATALOG.values()],
+        title="BE jobs (Table 1)",
+    ))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile a service and print its derived thresholds."""
+    spec = _service(args.service)
+    rhythm = get_rhythm(
+        spec,
+        seed=args.seed,
+        profiling_mode=_profiling_mode(spec),
+        probe_slacklimits=not args.no_probe,
+    )
+    contributions = rhythm.contributions()
+    normalized = contributions.normalized()
+    loadlimits = rhythm.loadlimits()
+    slacklimits = rhythm.slacklimits()
+    rows = []
+    for pod in spec.servpod_names:
+        c = contributions.contributions[pod]
+        rows.append([
+            pod, round(c.mean_weight, 3), round(c.correlation, 3),
+            round(c.variation, 4), round(normalized[pod], 3),
+            round(loadlimits[pod], 2), round(slacklimits[pod], 3),
+        ])
+    print(render_table(
+        ["Servpod", "P_i", "rho_i", "V_i", "C_i (norm)", "loadlimit", "slacklimit"],
+        rows,
+        title=f"{spec.name} — per-Servpod contributions and thresholds",
+    ))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Compare Rhythm and Heracles on one (service, BE, load) cell."""
+    spec = _service(args.service)
+    be = be_job_spec(args.be_job)
+    cmp = compare_systems(
+        spec, be, args.load, seed=args.seed,
+        config=ColocationConfig(duration_s=args.duration),
+        profiling_mode=_profiling_mode(spec),
+    )
+    rows = []
+    for name, result in (("Rhythm", cmp.rhythm), ("Heracles", cmp.heracles)):
+        rows.append([
+            name, round(result.be_throughput, 3), round(result.emu, 3),
+            f"{result.cpu_utilisation:.1%}", f"{result.membw_utilisation:.1%}",
+            result.sla_violations, result.be_kills,
+        ])
+    print(render_table(
+        ["System", "BE tput", "EMU", "CPU", "MemBW", "violations", "kills"],
+        rows,
+        title=f"{spec.name} + {be.name} @ {args.load:.0%} load, {args.duration:g}s",
+    ))
+    print(f"EMU improvement: {cmp.emu_improvement:+.1%}")
+    return 0
+
+
+def cmd_production(args: argparse.Namespace) -> int:
+    """Run a production (ClarkNet) day under both systems."""
+    spec = _service(args.service)
+    be = be_job_spec(args.be_job)
+    pattern = clarknet_production_load(duration_s=args.duration, days=1)
+    cmp = compare_systems(
+        spec, be, load=0.5, seed=args.seed,
+        config=ColocationConfig(duration_s=args.duration),
+        pattern=pattern,
+        profiling_mode=_profiling_mode(spec),
+    )
+    rows = []
+    for name, result in (("Rhythm", cmp.rhythm), ("Heracles", cmp.heracles)):
+        rows.append([
+            name, round(result.emu, 3), round(result.be_throughput, 3),
+            f"{result.worst_tail_ms / spec.sla_ms:.2f}",
+            result.sla_violations, result.be_kills,
+        ])
+    print(render_table(
+        ["System", "EMU", "BE tput", "worst p99/SLA", "violations", "kills"],
+        rows,
+        title=f"{spec.name} + {be.name} — production day ({args.duration:g}s)",
+    ))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Trace requests through a service and print recovered sojourns."""
+    import numpy as np
+
+    from repro.sim.rng import RandomStreams
+    from repro.tracing import CausalityMatcher, SojournExtractor, TraceEmitter
+    from repro.tracing.emitter import EmitterConfig, default_endpoints
+    from repro.workloads.service import Service
+
+    spec = _service(args.service)
+    svc = Service(spec, RandomStreams(args.seed))
+    records = svc.build_request_records(args.load, args.requests)
+    endpoints = default_endpoints(spec.servpod_names)
+    emitter = TraceEmitter(endpoints, EmitterConfig(noise_per_request=3, seed=args.seed))
+    events = emitter.emit(records)
+    stats = SojournExtractor(CausalityMatcher(endpoints)).stats(events)
+    truth = {}
+    for record in records:
+        for pod, sojourn in record.sojourn_by_servpod().items():
+            truth.setdefault(pod, []).append(sojourn)
+    print(f"{len(events)} kernel events captured for {len(records)} requests")
+    print(render_table(
+        ["Servpod", "traced mean (ms)", "true mean (ms)", "CoV"],
+        [[pod, round(stats[pod].mean_ms, 3),
+          round(float(np.mean(truth[pod])), 3), round(stats[pod].cov, 3)]
+         for pod in spec.servpod_names],
+        title=f"{spec.name} — tracer-recovered sojourn statistics @ {args.load:.0%}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rhythm (EuroSys 2020) reproduction — co-location experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list catalogued workloads").set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("profile", help="derive a service's thresholds")
+    p.add_argument("service", help="LC service name (see `repro list`)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-probe", action="store_true",
+                   help="use the analytic slacklimit fixed point instead of "
+                        "Algorithm 1's SLA probe")
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("compare", help="Rhythm vs Heracles on one cell")
+    p.add_argument("service")
+    p.add_argument("be_job")
+    p.add_argument("--load", type=float, default=0.65)
+    p.add_argument("--duration", type=float, default=120.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("production", help="replay a ClarkNet production day")
+    p.add_argument("service")
+    p.add_argument("be_job")
+    p.add_argument("--duration", type=float, default=600.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_production)
+
+    p = sub.add_parser("trace", help="trace requests and recover sojourns")
+    p.add_argument("service")
+    p.add_argument("--load", type=float, default=0.5)
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

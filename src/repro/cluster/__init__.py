@@ -1,0 +1,34 @@
+"""Hardware substrate: machines with controllable, partitionable resources.
+
+This package models exactly the knobs the paper's controller actuates on
+real hardware:
+
+- core pinning via cgroup cpusets (:mod:`repro.cluster.cgroups`),
+- LLC way-partitioning via Intel CAT (:mod:`repro.cluster.cache`),
+- per-core frequency scaling via DVFS and a RAPL-like power model
+  (:mod:`repro.cluster.dvfs`),
+- network-bandwidth shaping via qdisc (:mod:`repro.cluster.network`),
+- DRAM bandwidth and memory capacity accounting
+  (:mod:`repro.cluster.machine`).
+"""
+
+from repro.cluster.resources import ResourceVector, RESOURCE_KINDS
+from repro.cluster.cache import LastLevelCache
+from repro.cluster.cgroups import CpuSet
+from repro.cluster.dvfs import DvfsGovernor, PowerModel
+from repro.cluster.network import Nic
+from repro.cluster.machine import Machine, MachineSpec
+from repro.cluster.cluster import Cluster
+
+__all__ = [
+    "ResourceVector",
+    "RESOURCE_KINDS",
+    "LastLevelCache",
+    "CpuSet",
+    "DvfsGovernor",
+    "PowerModel",
+    "Nic",
+    "Machine",
+    "MachineSpec",
+    "Cluster",
+]

@@ -1,0 +1,342 @@
+"""Physical machine model.
+
+A :class:`Machine` bundles the isolation mechanisms the paper uses —
+cpuset core pinning, CAT LLC partitioning, DVFS/power capping, qdisc
+network shaping — plus DRAM bandwidth/capacity accounting, and tracks the
+resource allocations of the LC Servpod and every co-located BE job.
+
+The machine is policy-free: controllers decide *when* to grow or shrink a
+BE job; the machine only enforces *feasibility* (you cannot allocate cores
+or cache ways that do not exist).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cluster.cache import LastLevelCache
+from repro.cluster.cgroups import CpuSet
+from repro.cluster.dvfs import DvfsGovernor, PowerModel
+from repro.cluster.network import Nic
+from repro.cluster.resources import ResourceVector
+from repro.errors import AllocationError, ConfigurationError
+
+#: cpuset/CAT owner name used for the LC Servpod on every machine.
+LC_OWNER = "lc"
+
+#: DVFS domain names.
+LC_DOMAIN = "lc"
+BE_DOMAIN = "be"
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static capacities of a physical machine.
+
+    Defaults match the paper's testbed nodes (40-core Xeon E7-4820 v4 @
+    2.0 GHz, 20 MB L3 per socket modeled as one 20-way cache, 64 GB DRAM
+    per socket => 256 GB, 10 Gb NIC; DRAM bandwidth is a machine-level
+    aggregate).
+    """
+
+    name: str = "node"
+    cores: int = 40
+    llc_mb: float = 20.0
+    llc_ways: int = 20
+    membw_gbps: float = 80.0
+    memory_gb: float = 256.0
+    link_gbps: float = 10.0
+    tdp_watts: float = 115.0
+    min_mhz: int = 1200
+    max_mhz: int = 2000
+
+    def capacity(self) -> ResourceVector:
+        """Total machine capacity as a :class:`ResourceVector`."""
+        return ResourceVector(
+            cores=float(self.cores),
+            llc_mb=self.llc_mb,
+            membw_gbps=self.membw_gbps,
+            netbw_gbps=self.link_gbps,
+            memory_gb=self.memory_gb,
+        )
+
+
+@dataclass
+class BeAllocation:
+    """Mutable record of one BE job's resources on a machine."""
+
+    job_id: str
+    cores: int = 0
+    llc_ways: int = 0
+    memory_gb: float = 0.0
+    suspended: bool = False
+
+    def as_vector(self, mb_per_way: float) -> ResourceVector:
+        """This allocation as a :class:`ResourceVector`."""
+        return ResourceVector(
+            cores=float(self.cores),
+            llc_mb=self.llc_ways * mb_per_way,
+            memory_gb=self.memory_gb,
+        )
+
+
+@dataclass
+class MachineCounters:
+    """Cumulative bookkeeping used by the evaluation (Table 2)."""
+
+    be_kills: int = 0
+    be_suspensions: int = 0
+    be_launches: int = 0
+
+
+class Machine:
+    """A machine hosting one LC Servpod plus co-located BE jobs.
+
+    Parameters
+    ----------
+    spec:
+        Static capacities.
+    be_initial_cores / be_initial_memory_gb / be_memory_step_gb:
+        BE sizing constants from §3.5.2 of the paper: a newly launched BE
+        job gets 1 core, 10% of the LLC and 2 GB memory; memory adjusts in
+        100 MB steps; cores/LLC adjust in steps of 1 core / 10% LLC.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[MachineSpec] = None,
+        be_initial_cores: int = 1,
+        be_initial_memory_gb: float = 2.0,
+        be_memory_step_gb: float = 0.1,
+    ) -> None:
+        self.spec = spec or MachineSpec()
+        self.cpuset = CpuSet(self.spec.cores)
+        self.llc = LastLevelCache(self.spec.llc_mb, self.spec.llc_ways)
+        self.dvfs = DvfsGovernor(self.spec.min_mhz, self.spec.max_mhz)
+        self.power_model = PowerModel(tdp_watts=self.spec.tdp_watts)
+        self.nic = Nic(self.spec.link_gbps)
+        self.be_initial_cores = int(be_initial_cores)
+        self.be_initial_memory_gb = float(be_initial_memory_gb)
+        self.be_memory_step_gb = float(be_memory_step_gb)
+        self.counters = MachineCounters()
+        self._lc_memory_gb = 0.0
+        self._be: Dict[str, BeAllocation] = {}
+
+    # -- LC reservation -----------------------------------------------------
+
+    def reserve_lc(self, cores: int, llc_ways: int, memory_gb: float) -> None:
+        """Pin the LC Servpod's cores, LLC ways and memory."""
+        if self.cpuset.count(LC_OWNER) or self.llc.ways_of(LC_OWNER):
+            raise ConfigurationError(f"{self.spec.name}: LC already reserved")
+        if memory_gb > self.spec.memory_gb:
+            raise AllocationError(
+                f"{self.spec.name}: LC wants {memory_gb} GB, "
+                f"machine has {self.spec.memory_gb}"
+            )
+        self.cpuset.allocate(LC_OWNER, cores)
+        self.llc.allocate(LC_OWNER, llc_ways)
+        self._lc_memory_gb = float(memory_gb)
+
+    @property
+    def lc_cores(self) -> int:
+        """Cores pinned to the LC Servpod."""
+        return self.cpuset.count(LC_OWNER)
+
+    @property
+    def lc_llc_ways(self) -> int:
+        """LLC ways partitioned to the LC Servpod."""
+        return self.llc.ways_of(LC_OWNER)
+
+    @property
+    def lc_memory_gb(self) -> float:
+        """Memory reserved for the LC Servpod."""
+        return self._lc_memory_gb
+
+    # -- BE lifecycle ---------------------------------------------------
+
+    def be_allocation(self, job_id: str) -> Optional[BeAllocation]:
+        """The allocation record for ``job_id``, or ``None``."""
+        return self._be.get(job_id)
+
+    def be_jobs(self) -> Dict[str, BeAllocation]:
+        """A snapshot of all BE allocations keyed by job id."""
+        return dict(self._be)
+
+    @property
+    def be_instance_count(self) -> int:
+        """Number of BE jobs currently placed (running or suspended)."""
+        return len(self._be)
+
+    @property
+    def be_running_count(self) -> int:
+        """Number of BE jobs currently running (not suspended)."""
+        return sum(1 for a in self._be.values() if not a.suspended)
+
+    @property
+    def be_total_cores(self) -> int:
+        """Cores held by all BE jobs."""
+        return sum(a.cores for a in self._be.values())
+
+    @property
+    def be_total_llc_ways(self) -> int:
+        """LLC ways held by all BE jobs."""
+        return sum(a.llc_ways for a in self._be.values())
+
+    @property
+    def be_total_memory_gb(self) -> float:
+        """Memory held by all BE jobs."""
+        return sum(a.memory_gb for a in self._be.values())
+
+    def can_launch_be(self) -> bool:
+        """True if a fresh BE job (1 core, 2 GB; LLC is best-effort) fits.
+
+        Cores and memory are hard requirements; the 10% LLC grant is
+        taken from whatever ways remain — BE jobs effectively share the
+        BE side of the cache partition once it is exhausted, which is
+        how the paper's machines host 15+ BE instances (Figure 17)
+        against a 20-way cache.
+        """
+        return (
+            self.cpuset.free_cores >= self.be_initial_cores
+            and self.free_memory_gb >= self.be_initial_memory_gb
+        )
+
+    def launch_be(self, job_id: str) -> BeAllocation:
+        """Place a new BE job with its initial allocation."""
+        if job_id in self._be:
+            raise ConfigurationError(f"BE job {job_id!r} already on {self.spec.name}")
+        if not self.can_launch_be():
+            raise AllocationError(f"{self.spec.name}: no room for BE job {job_id!r}")
+        step = min(self.llc.step_ways(), self.llc.free_ways)
+        self.cpuset.allocate(job_id, self.be_initial_cores)
+        if step > 0:
+            self.llc.allocate(job_id, step)
+        alloc = BeAllocation(
+            job_id=job_id,
+            cores=self.be_initial_cores,
+            llc_ways=step,
+            memory_gb=self.be_initial_memory_gb,
+        )
+        self._be[job_id] = alloc
+        self.counters.be_launches += 1
+        return alloc
+
+    def grow_be(self, job_id: str) -> bool:
+        """Grant one more core (plus an LLC step if ways remain)."""
+        alloc = self._require(job_id)
+        if self.cpuset.free_cores < 1:
+            return False
+        step = min(self.llc.step_ways(), self.llc.free_ways)
+        self.cpuset.allocate(job_id, 1)
+        if step > 0:
+            self.llc.allocate(job_id, step)
+        alloc.cores += 1
+        alloc.llc_ways += step
+        return True
+
+    def shrink_be(self, job_id: str) -> bool:
+        """Take one core (and an LLC step, if held) back from ``job_id``.
+
+        Returns ``False`` once the job is at its minimum footprint.
+        """
+        alloc = self._require(job_id)
+        if alloc.cores <= self.be_initial_cores:
+            return False
+        step = min(self.llc.step_ways(), alloc.llc_ways)
+        self.cpuset.release(job_id, 1)
+        if step > 0:
+            self.llc.release(job_id, step)
+        alloc.cores -= 1
+        alloc.llc_ways -= step
+        return True
+
+    def grow_be_memory(self, job_id: str) -> bool:
+        """Grant one 100 MB memory step if capacity allows."""
+        alloc = self._require(job_id)
+        if self.free_memory_gb < self.be_memory_step_gb:
+            return False
+        alloc.memory_gb += self.be_memory_step_gb
+        return True
+
+    def shrink_be_memory(self, job_id: str) -> bool:
+        """Take one 100 MB memory step back (not below the initial 2 GB)."""
+        alloc = self._require(job_id)
+        if alloc.memory_gb - self.be_memory_step_gb < self.be_initial_memory_gb:
+            return False
+        alloc.memory_gb -= self.be_memory_step_gb
+        return True
+
+    def suspend_be(self, job_id: str) -> None:
+        """Pause ``job_id``: keeps memory, stops executing (SIGSTOP-like)."""
+        alloc = self._require(job_id)
+        if not alloc.suspended:
+            alloc.suspended = True
+            self.counters.be_suspensions += 1
+
+    def resume_be(self, job_id: str) -> None:
+        """Resume a suspended BE job."""
+        self._require(job_id).suspended = False
+
+    def kill_be(self, job_id: str) -> None:
+        """Kill ``job_id`` and release every resource it held."""
+        alloc = self._require(job_id)
+        self.cpuset.release_all(job_id)
+        self.llc.release_all(job_id)
+        del self._be[alloc.job_id]
+        self.counters.be_kills += 1
+
+    def kill_all_be(self) -> int:
+        """Kill every BE job on the machine; returns how many were killed."""
+        job_ids = list(self._be)
+        for job_id in job_ids:
+            self.kill_be(job_id)
+        return len(job_ids)
+
+    def suspend_all_be(self) -> int:
+        """Suspend every running BE job; returns how many were suspended."""
+        n = 0
+        for alloc in self._be.values():
+            if not alloc.suspended:
+                self.suspend_be(alloc.job_id)
+                n += 1
+        return n
+
+    def resume_all_be(self) -> int:
+        """Resume every suspended BE job; returns how many were resumed."""
+        n = 0
+        for alloc in self._be.values():
+            if alloc.suspended:
+                self.resume_be(alloc.job_id)
+                n += 1
+        return n
+
+    # -- capacity views -------------------------------------------------
+
+    @property
+    def free_memory_gb(self) -> float:
+        """Unreserved memory capacity."""
+        return self.spec.memory_gb - self._lc_memory_gb - self.be_total_memory_gb
+
+    def power_watts(self, lc_busy_cores: float, be_busy_cores: float) -> float:
+        """Current power estimate from the RAPL-like model."""
+        return self.power_model.power(
+            busy_cores_lc=lc_busy_cores,
+            freq_ratio_lc=self.dvfs.ratio(LC_DOMAIN),
+            busy_cores_be=be_busy_cores,
+            freq_ratio_be=self.dvfs.ratio(BE_DOMAIN),
+        )
+
+    # -- internals --------------------------------------------------------
+
+    def _require(self, job_id: str) -> BeAllocation:
+        alloc = self._be.get(job_id)
+        if alloc is None:
+            raise ConfigurationError(f"no BE job {job_id!r} on {self.spec.name}")
+        return alloc
+
+    def __repr__(self) -> str:
+        return (
+            f"Machine({self.spec.name!r}, lc_cores={self.lc_cores}, "
+            f"be_jobs={self.be_instance_count})"
+        )

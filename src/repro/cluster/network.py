@@ -1,0 +1,69 @@
+"""qdisc-style network bandwidth shaping.
+
+The paper's network subcontroller continuously measures the LC service's
+bandwidth ``B_LC`` and grants BE jobs ``B_link - 1.2 * B_LC`` (a 20%
+guard band on top of the LC's observed traffic).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class Nic:
+    """A link with qdisc-style rate allocation between LC and BE traffic.
+
+    Parameters
+    ----------
+    link_gbps:
+        Physical link capacity in Gb/s.
+    lc_guard_factor:
+        The LC reservation multiplier; the paper uses 1.2.
+    """
+
+    def __init__(self, link_gbps: float = 10.0, lc_guard_factor: float = 1.2) -> None:
+        if link_gbps <= 0:
+            raise ConfigurationError(f"link capacity must be positive, got {link_gbps}")
+        if lc_guard_factor < 1.0:
+            raise ConfigurationError(
+                f"guard factor below 1.0 would starve the LC, got {lc_guard_factor}"
+            )
+        self.link_gbps = float(link_gbps)
+        self.lc_guard_factor = float(lc_guard_factor)
+        self._lc_gbps = 0.0
+        self._be_cap_gbps = self.link_gbps
+
+    @property
+    def lc_gbps(self) -> float:
+        """Most recently observed LC traffic in Gb/s."""
+        return self._lc_gbps
+
+    @property
+    def be_cap_gbps(self) -> float:
+        """Current bandwidth cap applied to BE traffic in Gb/s."""
+        return self._be_cap_gbps
+
+    def observe_lc_traffic(self, gbps: float) -> float:
+        """Record LC traffic and recompute the BE cap; returns the new cap.
+
+        BE cap = ``link - guard * B_LC``, floored at zero.
+        """
+        if gbps < 0:
+            raise ConfigurationError(f"negative traffic {gbps}")
+        self._lc_gbps = min(float(gbps), self.link_gbps)
+        self._be_cap_gbps = max(0.0, self.link_gbps - self.lc_guard_factor * self._lc_gbps)
+        return self._be_cap_gbps
+
+    def be_share(self, demand_gbps: float) -> float:
+        """Bandwidth actually granted to BE traffic demanding ``demand_gbps``."""
+        if demand_gbps < 0:
+            raise ConfigurationError(f"negative demand {demand_gbps}")
+        return min(demand_gbps, self._be_cap_gbps)
+
+    def lc_pressure(self, be_demand_gbps: float) -> float:
+        """Residual pressure BE traffic puts on the LC's network headroom.
+
+        With shaping in place, BE traffic can still consume link headroom;
+        the pressure is the granted BE share as a fraction of capacity.
+        """
+        return self.be_share(be_demand_gbps) / self.link_gbps

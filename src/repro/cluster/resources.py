@@ -1,0 +1,108 @@
+"""Resource vectors.
+
+A :class:`ResourceVector` quantifies demand or capacity across the five
+shared-resource dimensions the paper studies: CPU cores, LLC capacity,
+DRAM bandwidth, network bandwidth, and memory capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import AllocationError
+
+#: Canonical resource dimension names, in the order used across the package.
+RESOURCE_KINDS = ("cores", "llc_mb", "membw_gbps", "netbw_gbps", "memory_gb")
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """An immutable quantity of machine resources.
+
+    Attributes
+    ----------
+    cores:
+        CPU cores (fractional cores are allowed for accounting).
+    llc_mb:
+        Last-level-cache capacity in MiB.
+    membw_gbps:
+        DRAM bandwidth in GB/s.
+    netbw_gbps:
+        Network bandwidth in Gb/s.
+    memory_gb:
+        DRAM capacity in GiB.
+    """
+
+    cores: float = 0.0
+    llc_mb: float = 0.0
+    membw_gbps: float = 0.0
+    netbw_gbps: float = 0.0
+    memory_gb: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if not (value >= 0.0):  # rejects negatives and NaN
+                raise AllocationError(
+                    f"resource {f.name} must be finite and >= 0, got {value!r}"
+                )
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            cores=self.cores + other.cores,
+            llc_mb=self.llc_mb + other.llc_mb,
+            membw_gbps=self.membw_gbps + other.membw_gbps,
+            netbw_gbps=self.netbw_gbps + other.netbw_gbps,
+            memory_gb=self.memory_gb + other.memory_gb,
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        """Subtract, raising :class:`AllocationError` on any underflow."""
+        return ResourceVector(
+            cores=self.cores - other.cores,
+            llc_mb=self.llc_mb - other.llc_mb,
+            membw_gbps=self.membw_gbps - other.membw_gbps,
+            netbw_gbps=self.netbw_gbps - other.netbw_gbps,
+            memory_gb=self.memory_gb - other.memory_gb,
+        )
+
+    def scaled(self, factor: float) -> "ResourceVector":
+        """Return this vector scaled by a non-negative ``factor``."""
+        if not (factor >= 0.0):
+            raise AllocationError(f"scale factor must be >= 0, got {factor!r}")
+        return ResourceVector(
+            cores=self.cores * factor,
+            llc_mb=self.llc_mb * factor,
+            membw_gbps=self.membw_gbps * factor,
+            netbw_gbps=self.netbw_gbps * factor,
+            memory_gb=self.memory_gb * factor,
+        )
+
+    def fits_within(self, capacity: "ResourceVector", tolerance: float = 1e-9) -> bool:
+        """True if every dimension of ``self`` is <= the same in ``capacity``."""
+        return all(
+            getattr(self, kind) <= getattr(capacity, kind) + tolerance
+            for kind in RESOURCE_KINDS
+        )
+
+    def fractions_of(self, capacity: "ResourceVector") -> dict:
+        """Per-dimension utilisation of ``self`` against ``capacity``.
+
+        Dimensions with zero capacity report 0.0 usage.
+        """
+        out = {}
+        for kind in RESOURCE_KINDS:
+            cap = getattr(capacity, kind)
+            out[kind] = (getattr(self, kind) / cap) if cap > 0 else 0.0
+        return out
+
+    def is_zero(self, tolerance: float = 1e-12) -> bool:
+        """True if every dimension is (numerically) zero."""
+        return all(getattr(self, kind) <= tolerance for kind in RESOURCE_KINDS)
+
+    @classmethod
+    def zero(cls) -> "ResourceVector":
+        """The all-zero vector."""
+        return cls()

@@ -1,0 +1,41 @@
+"""The five BE control actions (§3.5.2).
+
+Ordered from most to least aggressive toward BE jobs:
+
+1. **StopBE** — kill all running BE jobs, release every resource.
+2. **SuspendBE** — pause all BE jobs; they keep their memory.
+3. **CutBE** — keep BE jobs running but claw back some resources.
+4. **DisallowBEGrowth** — freeze: no new BE jobs or resources, existing
+   jobs keep running.
+5. **AllowBEGrowth** — launch more BE jobs / grant more resources.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class BeAction(enum.Enum):
+    """A top-controller decision for one control interval."""
+
+    STOP_BE = "StopBE"
+    SUSPEND_BE = "SuspendBE"
+    CUT_BE = "CutBE"
+    DISALLOW_BE_GROWTH = "DisallowBEGrowth"
+    ALLOW_BE_GROWTH = "AllowBEGrowth"
+
+    @property
+    def severity(self) -> int:
+        """Aggressiveness toward BE jobs: higher = harsher."""
+        order = {
+            BeAction.ALLOW_BE_GROWTH: 0,
+            BeAction.DISALLOW_BE_GROWTH: 1,
+            BeAction.CUT_BE: 2,
+            BeAction.SUSPEND_BE: 3,
+            BeAction.STOP_BE: 4,
+        }
+        return order[self]
+
+    def harsher_than(self, other: "BeAction") -> bool:
+        """True when this action restricts BE jobs more than ``other``."""
+        return self.severity > other.severity

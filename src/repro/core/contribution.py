@@ -1,0 +1,214 @@
+"""Tail-latency contribution analysis (§3.4, Equations 1–5).
+
+Given solo-run profiling data — per-load mean sojourn times per Servpod
+and per-load tail latencies — the analyzer derives each Servpod's
+contribution to end-to-end tail latency:
+
+- **Eq. 1**: ``P_i = T̄_i / Σ_k T̄_k`` — the mean-sojourn weight,
+- **Eq. 2**: ``ρ_i`` — Pearson correlation between a Servpod's per-load
+  mean sojourn and the per-load tail latency,
+- **Eq. 3**: ``V_i = (1/T̄_i) sqrt( Σ_j (T_i^j − T̄_i)² / (m(m−1)) )`` —
+  the normalized coefficient of variation across load levels,
+- **Eq. 4**: ``C_i = ρ_i · P_i · V_i``,
+- **Eq. 5**: for fan-out requests, Servpods off the critical path are
+  scaled by ``α_i = Σ_{j∈¬R_i} T_j / Σ_{k∈R} T_k``, where ``¬R_i`` is the
+  longest path *through i* among the non-critical paths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ProfilingError
+from repro.workloads.spec import CallNode, ServiceSpec
+
+
+@dataclass(frozen=True)
+class ServpodContribution:
+    """One Servpod's contribution and its factors."""
+
+    servpod: str
+    mean_weight: float        # P_i (Eq. 1)
+    correlation: float        # rho_i (Eq. 2)
+    variation: float          # V_i (Eq. 3)
+    alpha: float              # critical-path scaling (Eq. 5); 1 on the path
+    contribution: float       # C_i
+
+    @property
+    def on_critical_path(self) -> bool:
+        """True when the Servpod lies on the mean critical path."""
+        return self.alpha >= 1.0
+
+
+@dataclass
+class ContributionResult:
+    """Contributions of every Servpod of one service."""
+
+    service: str
+    contributions: Dict[str, ServpodContribution] = field(default_factory=dict)
+
+    def contribution(self, servpod: str) -> float:
+        """C_i of one Servpod."""
+        try:
+            return self.contributions[servpod].contribution
+        except KeyError:
+            raise ProfilingError(
+                f"{self.service}: no contribution for Servpod {servpod!r}"
+            ) from None
+
+    def normalized(self) -> Dict[str, float]:
+        """Contributions normalized to sum to 1 (Algorithm 1's input)."""
+        total = sum(c.contribution for c in self.contributions.values())
+        if total <= 0:
+            raise ProfilingError(f"{self.service}: total contribution is zero")
+        return {
+            name: c.contribution / total for name, c in self.contributions.items()
+        }
+
+    def ranked(self) -> List[ServpodContribution]:
+        """Contributions sorted descending."""
+        return sorted(
+            self.contributions.values(), key=lambda c: c.contribution, reverse=True
+        )
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient (Eq. 2); 0 when degenerate."""
+    if len(xs) != len(ys):
+        raise ProfilingError(f"length mismatch {len(xs)} vs {len(ys)}")
+    m = len(xs)
+    if m < 2:
+        raise ProfilingError("Pearson correlation needs at least two load points")
+    mean_x = sum(xs) / m
+    mean_y = sum(ys) / m
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    denom = math.sqrt(var_x) * math.sqrt(var_y)
+    if denom == 0:
+        return 0.0
+    return cov / denom
+
+
+class ContributionAnalyzer:
+    """Computes Equations 1–5 from profiling sweeps."""
+
+    def __init__(self, service: ServiceSpec) -> None:
+        self.service = service
+
+    def analyze(
+        self,
+        mean_sojourns: Dict[str, Sequence[float]],
+        tail_latencies: Sequence[float],
+    ) -> ContributionResult:
+        """Derive contributions from a solo-run load sweep.
+
+        Parameters
+        ----------
+        mean_sojourns:
+            ``{servpod: [T_i^1 .. T_i^m]}`` — mean sojourn (ms) per load
+            level, one entry per Servpod, all of equal length ``m``.
+        tail_latencies:
+            ``[T_tail^1 .. T_tail^m]`` — tail latency per load level.
+        """
+        pods = self.service.servpod_names
+        m = len(tail_latencies)
+        if m < 2:
+            raise ProfilingError("contribution analysis needs >= 2 load levels")
+        for pod in pods:
+            if pod not in mean_sojourns:
+                raise ProfilingError(f"missing sojourn sweep for Servpod {pod!r}")
+            if len(mean_sojourns[pod]) != m:
+                raise ProfilingError(
+                    f"Servpod {pod!r}: {len(mean_sojourns[pod])} load points, "
+                    f"tail has {m}"
+                )
+
+        t_bar = {pod: sum(mean_sojourns[pod]) / m for pod in pods}
+        t_total = sum(t_bar.values())
+        if t_total <= 0:
+            raise ProfilingError("all mean sojourns are zero")
+
+        alphas = self._critical_path_alphas(t_bar)
+
+        result = ContributionResult(service=self.service.name)
+        for pod in pods:
+            series = list(mean_sojourns[pod])
+            p_i = t_bar[pod] / t_total  # Eq. 1
+            rho = pearson(series, list(tail_latencies))  # Eq. 2
+            sq = sum((x - t_bar[pod]) ** 2 for x in series)
+            v_i = (
+                math.sqrt(sq / (m * (m - 1))) / t_bar[pod] if t_bar[pod] > 0 else 0.0
+            )  # Eq. 3
+            alpha = alphas[pod]
+            c_i = max(0.0, alpha * rho * p_i * v_i)  # Eq. 4 / Eq. 5
+            result.contributions[pod] = ServpodContribution(
+                servpod=pod,
+                mean_weight=p_i,
+                correlation=rho,
+                variation=v_i,
+                alpha=alpha,
+                contribution=c_i,
+            )
+        return result
+
+    # -- critical-path analysis (Eq. 5) ---------------------------------------
+
+    def _critical_path_alphas(self, t_bar: Dict[str, float]) -> Dict[str, float]:
+        """α_i per Servpod from the weighted union of request-type paths.
+
+        Paths are enumerated per request type; the critical path R is the
+        one with the largest total mean sojourn across all types. A
+        Servpod on R keeps α=1; one off R is scaled by its longest
+        non-critical path over R's length.
+        """
+        paths: List[Tuple[str, ...]] = []
+        for rtype in self.service.request_types:
+            paths.extend(enumerate_paths(rtype.root))
+        if not paths:
+            raise ProfilingError("service has no request paths")
+
+        def length(path: Tuple[str, ...]) -> float:
+            return sum(t_bar.get(pod, 0.0) for pod in path)
+
+        critical = max(paths, key=length)
+        critical_len = length(critical)
+        critical_set = set(critical)
+        alphas: Dict[str, float] = {}
+        for pod in self.service.servpod_names:
+            if pod in critical_set or critical_len <= 0:
+                alphas[pod] = 1.0
+                continue
+            through = [p for p in paths if pod in p]
+            if not through:
+                alphas[pod] = 1.0  # unreachable pod; don't scale blindly
+                continue
+            longest = max(length(p) for p in through)
+            alphas[pod] = min(1.0, longest / critical_len)
+        return alphas
+
+
+def enumerate_paths(node: CallNode) -> List[Tuple[str, ...]]:
+    """All root-to-completion paths of a call tree, at Servpod granularity.
+
+    Sequential children all lie on the same path; parallel children fork
+    alternative paths (the end-to-end latency is the max over them).
+    """
+    if not node.children:
+        return [(node.servpod,)]
+    child_paths: List[List[Tuple[str, ...]]] = [
+        enumerate_paths(child) for child in node.children
+    ]
+    if node.parallel:
+        out = []
+        for alternatives in child_paths:
+            for path in alternatives:
+                out.append((node.servpod,) + path)
+        return out
+    # Sequential: concatenate one alternative from each child, in order.
+    combos: List[Tuple[str, ...]] = [()]
+    for alternatives in child_paths:
+        combos = [prefix + path for prefix in combos for path in alternatives]
+    return [(node.servpod,) + combo for combo in combos]

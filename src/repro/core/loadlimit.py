@@ -1,0 +1,87 @@
+"""Loadlimit derivation (§3.5.1, Figure 8).
+
+The loadlimit of a Servpod is the request-load "switch" above which no BE
+jobs may run on its machine. The paper derives it from the solo-run CoV
+of sojourn times across requests at each load level: *the first load
+point whose fluctuation (CoV) is greater than the average CoV across all
+load points* (MySQL ≈ 0.76, Tomcat ≈ 0.87 in the E-commerce website).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ProfilingError
+
+
+def derive_loadlimit(
+    loads: Sequence[float],
+    covs: Sequence[float],
+    smoothing_window: int = 3,
+) -> float:
+    """The first load whose CoV exceeds the average CoV.
+
+    Parameters
+    ----------
+    loads:
+        Load fractions of the profiling sweep, strictly increasing.
+    covs:
+        Measured sojourn-time CoV at each load.
+    smoothing_window:
+        Odd moving-average window applied to the CoV curve before
+        thresholding, to keep finite-sample noise from triggering an
+        early crossing. 1 disables smoothing.
+
+    Returns
+    -------
+    float
+        The loadlimit. Falls back to the last load point if the curve
+        never crosses its mean (a pathologically flat Servpod tolerates
+        BE jobs at any load).
+    """
+    if len(loads) != len(covs):
+        raise ProfilingError(f"length mismatch: {len(loads)} loads, {len(covs)} covs")
+    if len(loads) < 3:
+        raise ProfilingError("loadlimit derivation needs >= 3 load points")
+    loads_arr = np.asarray(loads, dtype=float)
+    if np.any(np.diff(loads_arr) <= 0):
+        raise ProfilingError("loads must be strictly increasing")
+    covs_arr = np.asarray(covs, dtype=float)
+    if np.any(covs_arr < 0):
+        raise ProfilingError("CoV values must be >= 0")
+    smooth = _moving_average(covs_arr, smoothing_window)
+    mean_cov = float(smooth.mean())
+    above = np.nonzero(smooth > mean_cov)[0]
+    if len(above) == 0:
+        return float(loads_arr[-1])
+    return float(loads_arr[above[0]])
+
+
+def _moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average with edge truncation."""
+    if window <= 1:
+        return values
+    if window % 2 == 0:
+        raise ProfilingError(f"smoothing window must be odd, got {window}")
+    half = window // 2
+    out = np.empty_like(values, dtype=float)
+    n = len(values)
+    for i in range(n):
+        lo = max(0, i - half)
+        hi = min(n, i + half + 1)
+        out[i] = values[lo:hi].mean()
+    return out
+
+
+def loadlimit_table(
+    loads: Sequence[float],
+    covs_by_servpod: dict,
+    smoothing_window: int = 3,
+) -> dict:
+    """Derive loadlimits for several Servpods at once."""
+    return {
+        pod: derive_loadlimit(loads, covs, smoothing_window)
+        for pod, covs in covs_by_servpod.items()
+    }

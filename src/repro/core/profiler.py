@@ -1,0 +1,162 @@
+"""Offline solo-run profiling (§3.2: "profiling LC once").
+
+The profiler drives the LC service alone (no BE jobs) across a load
+sweep, collecting per-Servpod sojourn statistics and end-to-end tail
+latencies — everything the contribution analyzer and both thresholding
+rules need. Per the paper this happens once per service, alongside the
+pre-launch stress test, so its cost is linear in the number of Servpods.
+
+Three collection modes:
+
+- ``"tracer"`` — the full non-intrusive pipeline: emit kernel events for
+  every profiled request, filter, match causality, reconstruct CPGs and
+  read sojourns off them (the default, and what the paper's prototype
+  does with SystemTap);
+- ``"jaeger"`` — application-level tracing for microservice workloads
+  that ship their own tracer (SNMS);
+- ``"direct"`` — sample sojourns straight from the generative model
+  (fast path for large benchmark grids; statistically identical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.contribution import ContributionAnalyzer, ContributionResult
+from repro.core.loadlimit import loadlimit_table
+from repro.errors import ProfilingError
+from repro.sim.rng import RandomStreams
+from repro.tracing.causality import CausalityMatcher
+from repro.tracing.emitter import EmitterConfig, TraceEmitter, default_endpoints
+from repro.tracing.jaeger import JaegerTracer
+from repro.tracing.sojourn import SojournExtractor
+from repro.workloads.service import Service
+from repro.workloads.spec import ServiceSpec
+
+#: Default profiling load grid: 2%..100% in 2% steps (the paper sweeps a
+#: "broad spectrum of access loads"; Figure 8's crossings are at 1% grain).
+DEFAULT_LOADS = tuple(round(0.02 * i, 2) for i in range(1, 51))
+
+_MODES = ("tracer", "jaeger", "direct")
+
+
+@dataclass
+class ProfilingResult:
+    """Solo-run sweep statistics for one LC service."""
+
+    service: str
+    loads: List[float]
+    #: {servpod: [mean sojourn (ms) at each load]}
+    mean_sojourns: Dict[str, List[float]] = field(default_factory=dict)
+    #: {servpod: [sojourn CoV across requests at each load]}
+    covs: Dict[str, List[float]] = field(default_factory=dict)
+    #: tail latency (ms) at each load
+    tails: List[float] = field(default_factory=list)
+
+    def mean_sojourn(self, servpod: str, load_index: int) -> float:
+        """T_i^j for one Servpod and load index."""
+        return self.mean_sojourns[servpod][load_index]
+
+
+class ServiceProfiler:
+    """Runs the solo-run profiling sweep for one LC service."""
+
+    def __init__(
+        self,
+        service: ServiceSpec,
+        streams: Optional[RandomStreams] = None,
+        loads: Sequence[float] = DEFAULT_LOADS,
+        requests_per_load: int = 300,
+        tail_samples: int = 2500,
+        mode: str = "tracer",
+        noise_per_request: float = 2.0,
+    ) -> None:
+        if mode not in _MODES:
+            raise ProfilingError(f"unknown profiling mode {mode!r}; pick from {_MODES}")
+        if len(loads) < 3:
+            raise ProfilingError("profiling needs >= 3 load levels")
+        if requests_per_load < 10 or tail_samples < 100:
+            raise ProfilingError(
+                f"too few samples: requests={requests_per_load}, tail={tail_samples}"
+            )
+        self.spec = service
+        self.streams = streams or RandomStreams(0)
+        self.loads = [float(u) for u in loads]
+        self.requests_per_load = int(requests_per_load)
+        self.tail_samples = int(tail_samples)
+        self.mode = mode
+        self.noise_per_request = float(noise_per_request)
+        self._service = Service(service, self.streams)
+
+    # -- the sweep ----------------------------------------------------------
+
+    def profile(self) -> ProfilingResult:
+        """Run the sweep and return the collected statistics."""
+        result = ProfilingResult(service=self.spec.name, loads=list(self.loads))
+        pods = self.spec.servpod_names
+        result.mean_sojourns = {pod: [] for pod in pods}
+        result.covs = {pod: [] for pod in pods}
+        for load in self.loads:
+            per_pod = self._sojourns_at(load)
+            for pod in pods:
+                values = per_pod.get(pod, [])
+                if not values:
+                    raise ProfilingError(
+                        f"{self.spec.name}: no sojourns observed at {pod!r} "
+                        f"(load {load})"
+                    )
+                arr = np.asarray(values)
+                mean = float(arr.mean())
+                std = float(arr.std(ddof=1)) if len(arr) > 1 else 0.0
+                result.mean_sojourns[pod].append(mean)
+                result.covs[pod].append(std / mean if mean > 0 else 0.0)
+            result.tails.append(
+                self._service.tail_latency(load, self.tail_samples)
+            )
+        return result
+
+    def _sojourns_at(self, load: float) -> Dict[str, List[float]]:
+        """Per-request sojourn samples per Servpod at one load level."""
+        if self.mode == "direct":
+            sampled = self._service.sample_sojourns(load, self.requests_per_load)
+            out: Dict[str, List[float]] = {}
+            for pod in self.spec.servpod_names:
+                arr = sampled[pod]
+                out[pod] = arr[arr > 0].tolist()
+            return out
+
+        records = self._service.build_request_records(load, self.requests_per_load)
+        if self.mode == "jaeger":
+            tracer = JaegerTracer()
+            tracer.record(records)
+            return tracer.per_request()
+
+        endpoints = default_endpoints(self.spec.servpod_names)
+        emitter = TraceEmitter(
+            endpoints,
+            EmitterConfig(
+                blocking=True,
+                persistent_connections=False,
+                noise_per_request=self.noise_per_request,
+                seed=self.streams.stream("profiler:emitter-seed").integers(0, 2**31),
+            ),
+        )
+        events = emitter.emit(records)
+        extractor = SojournExtractor(CausalityMatcher(endpoints))
+        return extractor.per_request(events)
+
+    # -- derived analyses ------------------------------------------------
+
+    def contributions(self, result: Optional[ProfilingResult] = None) -> ContributionResult:
+        """Equations 1–5 over the sweep."""
+        result = result or self.profile()
+        analyzer = ContributionAnalyzer(self.spec)
+        return analyzer.analyze(result.mean_sojourns, result.tails)
+
+    def loadlimits(self, result: Optional[ProfilingResult] = None) -> Dict[str, float]:
+        """Per-Servpod loadlimits from the CoV curves (Figure 8 rule)."""
+        result = result or self.profile()
+        return loadlimit_table(result.loads, result.covs)

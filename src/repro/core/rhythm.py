@@ -1,0 +1,162 @@
+"""The Rhythm facade: "profiling LC once, feedback control BE".
+
+:class:`Rhythm` wires the whole §3 pipeline for one LC service:
+
+1. profile the solo run (request tracer → sojourn statistics),
+2. analyze contributions (Eq. 1–5),
+3. derive per-Servpod thresholds — loadlimit from the CoV rule and
+   slacklimit from Algorithm 1 (with a pluggable SLA probe; without one,
+   the analytic first-step values, i.e. normalized contributions, are
+   used — see :func:`repro.core.slacklimit.expected_first_step`),
+4. hand out one configured :class:`~repro.core.top_controller.TopController`
+   per machine.
+
+The runtime co-location loop that drives these controllers lives in
+:mod:`repro.experiments.colocation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.core.contribution import ContributionResult
+from repro.core.profiler import DEFAULT_LOADS, ProfilingResult, ServiceProfiler
+from repro.core.slacklimit import (
+    MIN_SLACKLIMIT,
+    SlaProbe,
+    find_slacklimits_independent,
+    violation_free_fixed_point,
+)
+from repro.core.top_controller import ControllerThresholds, TopController
+from repro.errors import ProfilingError
+from repro.sim.rng import RandomStreams
+from repro.workloads.spec import ServiceSpec
+
+
+@dataclass
+class RhythmConfig:
+    """Tunables of the Rhythm pipeline."""
+
+    #: Profiling load grid.
+    loads: Sequence[float] = DEFAULT_LOADS
+    #: Requests traced per load level.
+    requests_per_load: int = 300
+    #: Samples used for each load level's tail estimate.
+    tail_samples: int = 2500
+    #: Profiling collection mode: "tracer", "jaeger" or "direct".
+    profiling_mode: str = "tracer"
+    #: Maximum BE instances per machine.
+    max_be_instances: int = 16
+    #: Floor applied to derived slacklimits.
+    min_slacklimit: float = MIN_SLACKLIMIT
+
+
+class Rhythm:
+    """Profile-once / feedback-control pipeline for one LC service."""
+
+    def __init__(
+        self,
+        service: ServiceSpec,
+        streams: Optional[RandomStreams] = None,
+        config: Optional[RhythmConfig] = None,
+    ) -> None:
+        self.spec = service
+        self.streams = streams or RandomStreams(0)
+        self.config = config or RhythmConfig()
+        self._profiler = ServiceProfiler(
+            service,
+            streams=self.streams,
+            loads=self.config.loads,
+            requests_per_load=self.config.requests_per_load,
+            tail_samples=self.config.tail_samples,
+            mode=self.config.profiling_mode,
+        )
+        self._profile: Optional[ProfilingResult] = None
+        self._contributions: Optional[ContributionResult] = None
+        self._loadlimits: Optional[Dict[str, float]] = None
+        self._slacklimits: Optional[Dict[str, float]] = None
+
+    # -- pipeline stages -------------------------------------------------
+
+    def profile(self) -> ProfilingResult:
+        """Stage 1: the (cached) solo-run profiling sweep."""
+        if self._profile is None:
+            self._profile = self._profiler.profile()
+        return self._profile
+
+    def contributions(self) -> ContributionResult:
+        """Stage 2: (cached) contribution analysis."""
+        if self._contributions is None:
+            self._contributions = self._profiler.contributions(self.profile())
+        return self._contributions
+
+    def loadlimits(self) -> Dict[str, float]:
+        """Stage 3a: (cached) per-Servpod loadlimits."""
+        if self._loadlimits is None:
+            self._loadlimits = self._profiler.loadlimits(self.profile())
+        return self._loadlimits
+
+    def slacklimits(self, sla_probe: Optional[SlaProbe] = None) -> Dict[str, float]:
+        """Stage 3b: per-Servpod slacklimits.
+
+        With a probe, runs Algorithm 1 against it (one walk per Servpod,
+        others conservative); without, uses the analytic violation-free
+        fixed point, which equals Algorithm 1's outcome whenever the
+        probe never reports a violation.
+        """
+        if self._slacklimits is None:
+            contributions = {
+                pod: c.contribution
+                for pod, c in self.contributions().contributions.items()
+            }
+            if sla_probe is not None:
+                limits = find_slacklimits_independent(contributions, sla_probe)
+            else:
+                limits = violation_free_fixed_point(contributions)
+            floor = self.config.min_slacklimit
+            self._slacklimits = {
+                pod: max(floor, min(1.0, value)) for pod, value in limits.items()
+            }
+        return self._slacklimits
+
+    # -- controller construction ---------------------------------------------
+
+    def thresholds(self, servpod: str) -> ControllerThresholds:
+        """The derived thresholds of one Servpod."""
+        loadlimits = self.loadlimits()
+        slacklimits = self.slacklimits()
+        if servpod not in loadlimits or servpod not in slacklimits:
+            raise ProfilingError(f"{self.spec.name}: unknown Servpod {servpod!r}")
+        return ControllerThresholds(
+            loadlimit=loadlimits[servpod], slacklimit=slacklimits[servpod]
+        )
+
+    def controllers(self) -> Dict[str, TopController]:
+        """Stage 4: one configured top controller per Servpod machine."""
+        return {
+            pod: TopController(
+                servpod=pod,
+                thresholds=self.thresholds(pod),
+                sla_ms=self.spec.sla_ms,
+            )
+            for pod in self.spec.servpod_names
+        }
+
+    def set_slacklimits(self, limits: Dict[str, float]) -> None:
+        """Override derived slacklimits (used by the Figure 18 sweeps)."""
+        unknown = set(limits) - set(self.spec.servpod_names)
+        if unknown:
+            raise ProfilingError(f"unknown Servpods {sorted(unknown)}")
+        merged = dict(self.slacklimits())
+        merged.update(limits)
+        self._slacklimits = merged
+
+    def set_loadlimits(self, limits: Dict[str, float]) -> None:
+        """Override derived loadlimits (used by the Figure 18 sweeps)."""
+        unknown = set(limits) - set(self.spec.servpod_names)
+        if unknown:
+            raise ProfilingError(f"unknown Servpods {sorted(unknown)}")
+        merged = dict(self.loadlimits())
+        merged.update(limits)
+        self._loadlimits = merged

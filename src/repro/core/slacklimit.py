@@ -1,0 +1,174 @@
+"""Slacklimit derivation — Algorithm 1 (findSlacklimit).
+
+The slacklimit of a Servpod is the smallest latency slack at which BE
+jobs may still *grow* on its machine; it is inversely related to the
+Servpod's interference tolerance. Algorithm 1 lowers every Servpod's
+candidate limit from 1.0 in per-Servpod steps of ``1 − C_i/ΣC`` (so
+low-contribution Servpods plunge toward small limits immediately), runs
+the co-located system at each configuration, and backtracks one step on
+the first SLA violation.
+
+The paper recommends running the probe with representative mixed BE jobs
+several times; :func:`find_slacklimits` takes the probe as a callback so
+the caller chooses the BE mix and run length.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping
+
+from repro.errors import ProfilingError
+
+#: Lowest candidate slacklimit — a zero limit would let BE jobs grow even
+#: with no latency headroom at all.
+MIN_SLACKLIMIT = 0.01
+
+#: A probe runs the co-located system under candidate limits and reports
+#: whether the SLA was violated.
+SlaProbe = Callable[[Mapping[str, float]], bool]
+
+
+def find_slacklimits(
+    contributions: Mapping[str, float],
+    sla_probe: SlaProbe,
+    max_rounds: int = 50,
+) -> Dict[str, float]:
+    """Algorithm 1, jointly over all Servpods of one service.
+
+    Parameters
+    ----------
+    contributions:
+        Raw contributions ``C_i`` per Servpod (Eq. 4/5); normalized here.
+    sla_probe:
+        Called with a candidate ``{servpod: slacklimit}`` configuration;
+        returns ``True`` if running the system there violates the SLA.
+    max_rounds:
+        Safety valve on the while loop.
+
+    Returns
+    -------
+    dict
+        The selected slacklimit per Servpod: the last configuration that
+        ran without an SLA violation (the initial all-1.0 configuration
+        if even the first step violates).
+    """
+    if not contributions:
+        raise ProfilingError("no contributions provided")
+    total = sum(contributions.values())
+    if total <= 0:
+        raise ProfilingError("total contribution must be positive")
+
+    step_size = {
+        pod: 1.0 - c / total for pod, c in contributions.items()
+    }  # Algorithm 1, line 1
+    current = {pod: 1.0 for pod in contributions}  # line 2
+    record: List[Dict[str, float]] = []
+
+    for _ in range(max_rounds):
+        proposal = {}
+        moved = False
+        for pod, limit in current.items():
+            candidate = limit - step_size[pod]  # line 5
+            if candidate > 0:
+                # Still above zero: take the step (floored at the
+                # minimum usable limit).
+                proposal[pod] = max(candidate, MIN_SLACKLIMIT)
+                if proposal[pod] != limit:
+                    moved = True
+            else:
+                # This Servpod has bottomed out; hold its last value
+                # (curLimit > 0 loop guard, per Servpod).
+                proposal[pod] = max(limit, MIN_SLACKLIMIT)
+        if not moved:
+            break
+        if sla_probe(proposal):  # lines 6-7
+            return record[-1] if record else dict(current)  # lines 8-10
+        record.append(dict(proposal))  # line 12
+        current = proposal
+    return dict(current)
+
+
+def find_slacklimits_independent(
+    contributions: Mapping[str, float],
+    sla_probe: SlaProbe,
+    max_rounds: int = 50,
+) -> Dict[str, float]:
+    """Algorithm 1 run once per Servpod, others held conservative.
+
+    The pseudocode's signature — ``findSlacklimit(C_i)`` returning "the
+    slacklimit for Servpod i" — reads as a per-Servpod procedure: while
+    Servpod *i*'s candidate limit walks down from 1.0 in steps of
+    ``1 − C_i/ΣC``, every other Servpod keeps the conservative initial
+    limit. This matches the paper's published outcomes (each Servpod's
+    limit is a multiple of its own step) and is robust: one Servpod's
+    violation never resets the others' limits.
+    """
+    if not contributions:
+        raise ProfilingError("no contributions provided")
+    total = sum(contributions.values())
+    if total <= 0:
+        raise ProfilingError("total contribution must be positive")
+
+    limits: Dict[str, float] = {}
+    for pod, c in contributions.items():
+        step = 1.0 - c / total
+        if step <= 1e-6:
+            limits[pod] = 1.0
+            continue
+        current = 1.0
+        record: List[float] = []
+        for _ in range(max_rounds):
+            candidate = current - step  # line 5
+            if candidate <= 0:
+                break
+            candidate = max(candidate, MIN_SLACKLIMIT)
+            if candidate == current:
+                break
+            config = {other: 1.0 for other in contributions}
+            config[pod] = candidate
+            if sla_probe(config):  # lines 6-7
+                break
+            record.append(candidate)  # line 12
+            current = candidate
+        limits[pod] = record[-1] if record else 1.0  # lines 8-10
+    return limits
+
+
+def expected_first_step(contributions: Mapping[str, float]) -> Dict[str, float]:
+    """The candidate limits after Algorithm 1's first step.
+
+    Equal to each Servpod's *normalized* contribution — a useful analytic
+    cross-check: when no SLA violation occurs, a Servpod with normalized
+    contribution below 0.5 ends up with exactly this slacklimit.
+    """
+    total = sum(contributions.values())
+    if total <= 0:
+        raise ProfilingError("total contribution must be positive")
+    return {pod: c / total for pod, c in contributions.items()}
+
+
+def violation_free_fixed_point(contributions: Mapping[str, float]) -> Dict[str, float]:
+    """Algorithm 1's outcome when the probe never reports a violation.
+
+    Each Servpod steps down from 1.0 by ``1 − C_i/ΣC`` until the next
+    step would cross :data:`MIN_SLACKLIMIT`; the last reachable value is
+    its slacklimit. For normalized contributions below 0.5 that is the
+    contribution itself; above 0.5 the loop takes several steps (e.g.
+    c = 0.74 → 1 − 3·0.26 = 0.22).
+    """
+    total = sum(contributions.values())
+    if total <= 0:
+        raise ProfilingError("total contribution must be positive")
+    limits: Dict[str, float] = {}
+    for pod, c in contributions.items():
+        step = 1.0 - c / total
+        if step <= 1e-6:
+            # A Servpod carrying (essentially) the whole contribution
+            # never moves off the conservative initial limit.
+            limits[pod] = 1.0
+            continue
+        value = 1.0
+        while value - step > 0:
+            value -= step
+        limits[pod] = max(value, MIN_SLACKLIMIT)
+    return limits

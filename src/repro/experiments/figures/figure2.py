@@ -1,0 +1,138 @@
+"""Figure 2 — inconsistent interference tolerance of LC components (§2).
+
+The characterization co-locates each LC component with one
+microbenchmark at a time and measures the increase of the service's p99
+latency over the solo run, across request loads 20–80%. The §2 setup
+deliberately bypasses isolation (CPU-stress is pinned to the *same*
+socket cores), so each interference kind is represented by the canonical
+raw pressure it exerts.
+
+Expected shape (checked in EXPERIMENTS.md):
+
+- degradation grows with load in every group,
+- Redis Master ≫ Slave for stream-llc(big) (the paper reports > 28×),
+- MySQL ≫ Tomcat for stream-dram(big); Tomcat ≫ MySQL for DVFS,
+- big stream variants ≫ small variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.interference.model import InterferenceModel, Pressure
+from repro.metrics.percentile import percentile
+from repro.sim.rng import RandomStreams
+from repro.workloads.catalog import ecommerce_service, redis_service
+from repro.workloads.service import Service, ServiceState
+from repro.workloads.spec import ServiceSpec
+
+#: Canonical raw pressures of the seven §2 interference kinds. "big"
+#: saturates the resource; "small" occupies half of it (Table 1 text).
+CHARACTERIZATION_PRESSURES: Dict[str, Pressure] = {
+    "stream_dram(big)": Pressure(membw=1.0, llc=0.30, cpu=0.10),
+    "stream_dram(small)": Pressure(membw=0.5, llc=0.15, cpu=0.06),
+    "stream_llc(big)": Pressure(llc=1.0, membw=0.35, cpu=0.08),
+    "stream_llc(small)": Pressure(llc=0.5, membw=0.20, cpu=0.05),
+    "DVFS": Pressure(freq=0.40),
+    "iperf": Pressure(net=0.90, cpu=0.04),
+    "CPU_stress": Pressure(cpu=0.80),
+}
+
+#: Load grid of Figure 2's x-axis.
+FIGURE2_LOADS = (0.2, 0.4, 0.6, 0.8)
+
+
+@dataclass(frozen=True)
+class Figure2Row:
+    """One bar of Figure 2."""
+
+    service: str
+    component: str
+    interference: str
+    load: float
+    p99_solo_ms: float
+    p99_interfered_ms: float
+
+    @property
+    def increase_pct(self) -> float:
+        """p99 latency increase over solo, in percent (the y-axis)."""
+        if self.p99_solo_ms <= 0:
+            return 0.0
+        return 100.0 * (self.p99_interfered_ms - self.p99_solo_ms) / self.p99_solo_ms
+
+
+def run_figure2(
+    services: Optional[Sequence[ServiceSpec]] = None,
+    loads: Sequence[float] = FIGURE2_LOADS,
+    samples: int = 4000,
+    seed: int = 0,
+    model: Optional[InterferenceModel] = None,
+) -> List[Figure2Row]:
+    """Run the §2 characterization grid.
+
+    For each (service, component, interference, load) the target
+    component's Servpod gets the canonical pressure while every other
+    Servpod runs clean, and the service-level p99 is compared to solo.
+    """
+    if services is None:
+        services = [redis_service(), ecommerce_service()]
+    model = model or InterferenceModel()
+    rows: List[Figure2Row] = []
+    for spec in services:
+        for load in loads:
+            solo_svc = Service(spec, RandomStreams(seed))
+            solo_p99 = float(
+                percentile(solo_svc.sample_e2e(load, samples), spec.tail_percentile)
+            )
+            for pod in spec.servpods:
+                comp_names = ",".join(c.name for c in pod.components)
+                for kind, pressure in CHARACTERIZATION_PRESSURES.items():
+                    slowdowns = {}
+                    inflations = {}
+                    # §2 measures raw component sensitivity: weight the
+                    # member components as the Servpod abstraction does.
+                    from repro.core.servpod import Servpod
+                    from repro.cluster.machine import Machine
+
+                    servpod = Servpod(spec=pod, machine=Machine())
+                    slowdown = servpod.slowdown(pressure, load, model)
+                    slowdowns[pod.name] = slowdown
+                    inflations[pod.name] = model.sigma_inflation(slowdown)
+                    svc = Service(spec, RandomStreams(seed))
+                    p99 = float(
+                        percentile(
+                            svc.sample_e2e(
+                                load,
+                                samples,
+                                ServiceState(slowdowns, inflations),
+                            ),
+                            spec.tail_percentile,
+                        )
+                    )
+                    rows.append(
+                        Figure2Row(
+                            service=spec.name,
+                            component=comp_names,
+                            interference=kind,
+                            load=load,
+                            p99_solo_ms=solo_p99,
+                            p99_interfered_ms=p99,
+                        )
+                    )
+    return rows
+
+
+def increase_matrix(rows: Sequence[Figure2Row], service: str) -> Dict[str, Dict[str, float]]:
+    """Average increase (%) per component × interference for one service."""
+    acc: Dict[str, Dict[str, List[float]]] = {}
+    for row in rows:
+        if row.service != service:
+            continue
+        acc.setdefault(row.component, {}).setdefault(row.interference, []).append(
+            row.increase_pct
+        )
+    return {
+        comp: {kind: sum(v) / len(v) for kind, v in kinds.items()}
+        for comp, kinds in acc.items()
+    }

@@ -1,0 +1,87 @@
+"""Figure 6 — solo-run sojourn statistics of the E-commerce Servpods.
+
+(a) average sojourn time per Servpod vs load, plus the service p99;
+(b) coefficient of variation of the sojourn times, normalized across the
+four Servpods at each load.
+
+Expected shape: HAProxy contributes < 5% of latency but > 20% of the
+normalized variance; Amoeba is small and the most stable; MySQL's mean
+overtakes Tomcat's past mid load and its CoV stays above Tomcat's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.profiler import ProfilingResult, ServiceProfiler
+from repro.sim.rng import RandomStreams
+from repro.workloads.catalog import ecommerce_service
+from repro.workloads.spec import ServiceSpec
+
+#: Figure 6's x-axis: 1%..85% of max load.
+FIGURE6_LOADS = tuple(round(0.01 + 0.04 * i, 2) for i in range(0, 22))
+
+
+@dataclass
+class Figure6Data:
+    """The two panels' series."""
+
+    service: str
+    loads: List[float]
+    mean_sojourns: Dict[str, List[float]] = field(default_factory=dict)
+    p99: List[float] = field(default_factory=list)
+    #: CoV per Servpod, normalized so the four Servpods sum to 1 per load.
+    normalized_cov: Dict[str, List[float]] = field(default_factory=dict)
+
+    def latency_share(self, servpod: str) -> float:
+        """Average share of summed mean sojourn contributed by a Servpod."""
+        totals = [
+            sum(self.mean_sojourns[p][j] for p in self.mean_sojourns)
+            for j in range(len(self.loads))
+        ]
+        shares = [
+            self.mean_sojourns[servpod][j] / totals[j]
+            for j in range(len(self.loads))
+            if totals[j] > 0
+        ]
+        return sum(shares) / len(shares)
+
+    def variance_share(self, servpod: str) -> float:
+        """Average normalized-CoV share of a Servpod."""
+        series = self.normalized_cov[servpod]
+        return sum(series) / len(series)
+
+
+def run_figure6(
+    service: Optional[ServiceSpec] = None,
+    loads: Sequence[float] = FIGURE6_LOADS,
+    requests_per_load: int = 400,
+    seed: int = 0,
+    mode: str = "direct",
+) -> Figure6Data:
+    """Profile the service and assemble Figure 6's series."""
+    spec = service or ecommerce_service()
+    profiler = ServiceProfiler(
+        spec,
+        streams=RandomStreams(seed),
+        loads=loads,
+        requests_per_load=requests_per_load,
+        mode=mode,
+    )
+    result: ProfilingResult = profiler.profile()
+    data = Figure6Data(
+        service=spec.name,
+        loads=list(result.loads),
+        mean_sojourns={pod: list(vals) for pod, vals in result.mean_sojourns.items()},
+        p99=list(result.tails),
+    )
+    pods = spec.servpod_names
+    for pod in pods:
+        data.normalized_cov[pod] = []
+    for j in range(len(result.loads)):
+        total = sum(result.covs[pod][j] for pod in pods)
+        for pod in pods:
+            share = result.covs[pod][j] / total if total > 0 else 0.0
+            data.normalized_cov[pod].append(share)
+    return data

@@ -1,0 +1,98 @@
+"""Figure 7 — Servpod sensitivity vs contribution (§3.4 validation).
+
+For each of the four E-commerce Servpods, the x-axis is the derived
+contribution C_i and the y-axis the measured *sensitivity*: the increase
+in the service's p99 when only that Servpod is interfered, under four BE
+choices (mixed, stream-dram, CPU-stress, stream-llc). The paper's claim,
+which this driver validates: sensitivity is positively correlated with
+contribution no matter which BE generates the interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.figures.figure2 import CHARACTERIZATION_PRESSURES
+from repro.core.contribution import pearson
+from repro.core.rhythm import Rhythm, RhythmConfig
+from repro.interference.model import InterferenceModel, Pressure
+from repro.metrics.percentile import percentile
+from repro.sim.rng import RandomStreams
+from repro.workloads.catalog import ecommerce_service
+from repro.workloads.service import Service, ServiceState
+from repro.workloads.spec import ServiceSpec
+
+#: Figure 7's four interference panels. "mixed" averages the pressure of
+#: a representative blend of the six evaluation BEs.
+FIGURE7_PRESSURES: Dict[str, Pressure] = {
+    "mixed": Pressure(cpu=0.45, llc=0.45, membw=0.55, net=0.25, freq=0.10),
+    "stream-dram": CHARACTERIZATION_PRESSURES["stream_dram(big)"],
+    "CPU-stress": CHARACTERIZATION_PRESSURES["CPU_stress"],
+    "stream-llc": CHARACTERIZATION_PRESSURES["stream_llc(big)"],
+}
+
+
+@dataclass(frozen=True)
+class Figure7Row:
+    """One scatter point of Figure 7."""
+
+    servpod: str
+    be_kind: str
+    contribution: float
+    sensitivity: float  # relative p99 increase under interference
+
+
+def run_figure7(
+    service: Optional[ServiceSpec] = None,
+    load: float = 0.7,
+    samples: int = 5000,
+    seed: int = 0,
+    model: Optional[InterferenceModel] = None,
+) -> List[Figure7Row]:
+    """Generate the sensitivity-vs-contribution scatter."""
+    spec = service or ecommerce_service()
+    model = model or InterferenceModel()
+    rhythm = Rhythm(spec, RandomStreams(seed), RhythmConfig(profiling_mode="direct"))
+    contributions = {
+        pod: c.contribution for pod, c in rhythm.contributions().contributions.items()
+    }
+    solo = Service(spec, RandomStreams(seed))
+    p99_solo = float(percentile(solo.sample_e2e(load, samples), spec.tail_percentile))
+
+    from repro.cluster.machine import Machine
+    from repro.core.servpod import Servpod
+
+    rows: List[Figure7Row] = []
+    for be_kind, pressure in FIGURE7_PRESSURES.items():
+        for pod_spec in spec.servpods:
+            servpod = Servpod(spec=pod_spec, machine=Machine())
+            slowdown = servpod.slowdown(pressure, load, model)
+            state = ServiceState(
+                slowdowns={pod_spec.name: slowdown},
+                sigma_inflations={pod_spec.name: model.sigma_inflation(slowdown)},
+            )
+            svc = Service(spec, RandomStreams(seed))
+            p99 = float(
+                percentile(svc.sample_e2e(load, samples, state), spec.tail_percentile)
+            )
+            rows.append(
+                Figure7Row(
+                    servpod=pod_spec.name,
+                    be_kind=be_kind,
+                    contribution=contributions[pod_spec.name],
+                    sensitivity=(p99 - p99_solo) / p99_solo,
+                )
+            )
+    return rows
+
+
+def correlation_by_be(rows: Sequence[Figure7Row]) -> Dict[str, float]:
+    """Pearson correlation of sensitivity vs contribution, per BE panel."""
+    out: Dict[str, float] = {}
+    kinds = sorted({row.be_kind for row in rows})
+    for kind in kinds:
+        xs = [r.contribution for r in rows if r.be_kind == kind]
+        ys = [r.sensitivity for r in rows if r.be_kind == kind]
+        out[kind] = pearson(xs, ys)
+    return out

@@ -1,0 +1,55 @@
+"""Figure 8 — deriving loadlimit from the CoV-vs-load curve (§3.5.1).
+
+For each Servpod the panel shows the solo-run CoV of sojourn times over
+the request load, its sweep average, and the derived loadlimit — the
+first load point whose CoV exceeds the average. The paper's values for
+E-commerce: MySQL ≈ 0.76, Tomcat ≈ 0.87.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.loadlimit import derive_loadlimit
+from repro.core.profiler import DEFAULT_LOADS, ServiceProfiler
+from repro.sim.rng import RandomStreams
+from repro.workloads.catalog import ecommerce_service
+from repro.workloads.spec import ServiceSpec
+
+
+@dataclass
+class Figure8Data:
+    """CoV curves, averages and loadlimits for every Servpod."""
+
+    service: str
+    loads: List[float]
+    covs: Dict[str, List[float]] = field(default_factory=dict)
+    mean_cov: Dict[str, float] = field(default_factory=dict)
+    loadlimit: Dict[str, float] = field(default_factory=dict)
+
+
+def run_figure8(
+    service: Optional[ServiceSpec] = None,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    requests_per_load: int = 500,
+    seed: int = 0,
+    mode: str = "direct",
+) -> Figure8Data:
+    """Profile the service and derive every Servpod's loadlimit."""
+    spec = service or ecommerce_service()
+    profiler = ServiceProfiler(
+        spec,
+        streams=RandomStreams(seed),
+        loads=loads,
+        requests_per_load=requests_per_load,
+        mode=mode,
+    )
+    result = profiler.profile()
+    data = Figure8Data(service=spec.name, loads=list(result.loads))
+    for pod in spec.servpod_names:
+        covs = result.covs[pod]
+        data.covs[pod] = list(covs)
+        data.mean_cov[pod] = sum(covs) / len(covs)
+        data.loadlimit[pod] = derive_loadlimit(result.loads, covs)
+    return data

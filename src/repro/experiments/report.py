@@ -1,0 +1,63 @@
+"""Plain-text table rendering for experiment results.
+
+Benchmarks and examples print the same rows/series the paper reports;
+this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_heatmap(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: dict,
+    title: str = "",
+    fmt: str = "{:6.1f}",
+) -> str:
+    """Render a labelled matrix (Figure 15-style heatmap) as text.
+
+    ``values`` maps ``(row_label, col_label)`` to a number.
+    """
+    width = max([len(c) for c in col_labels] + [8])
+    label_w = max(len(r) for r in row_labels) if row_labels else 4
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" " * label_w + " " + " ".join(c.rjust(width) for c in col_labels))
+    for r in row_labels:
+        cells = []
+        for c in col_labels:
+            v = values.get((r, c))
+            cells.append(("-" * 3).rjust(width) if v is None else fmt.format(v).rjust(width))
+        lines.append(r.ljust(label_w) + " " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

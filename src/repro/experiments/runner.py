@@ -1,0 +1,202 @@
+"""Rhythm-vs-Heracles comparison machinery.
+
+The evaluation grids (Figures 9–14) run the same (LC service, BE job,
+load) cell once under each system and report relative improvements. This
+module provides the cell runner and a per-service cache of Rhythm's
+profiling artifacts so a 5×6×5 grid profiles each service once, exactly
+as the paper's "profile once" design intends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.baselines.heracles import HeraclesPolicy, heracles_controllers
+from repro.bejobs.spec import BeJobSpec
+from repro.core.rhythm import Rhythm, RhythmConfig
+from repro.core.top_controller import TopController
+from repro.errors import ExperimentError
+from repro.experiments.colocation import (
+    ColocationConfig,
+    ColocationExperiment,
+    ColocationResult,
+)
+from repro.loadgen.patterns import ConstantLoad, LoadPattern
+from repro.sim.rng import RandomStreams
+from repro.workloads.spec import ServiceSpec
+
+#: Cache of Rhythm pipelines keyed by (service name, seed, profiling mode).
+_RHYTHM_CACHE: Dict[Tuple[str, int, str], Rhythm] = {}
+
+
+def get_rhythm(
+    service: ServiceSpec,
+    seed: int = 0,
+    profiling_mode: str = "direct",
+    config: Optional[RhythmConfig] = None,
+    probe_slacklimits: bool = True,
+    probe_duration_s: float = 600.0,
+) -> Rhythm:
+    """A cached, already-profiled Rhythm pipeline for ``service``.
+
+    With ``probe_slacklimits`` (the default, matching the paper's
+    methodology) Algorithm 1 runs against a production-load SLA probe
+    with mixed BE jobs; otherwise the analytic violation-free fixed
+    point is used.
+    """
+    key = (service.name, seed, profiling_mode, probe_slacklimits)
+    rhythm = _RHYTHM_CACHE.get(key)
+    if rhythm is None:
+        from repro.bejobs.catalog import evaluation_be_jobs
+        from repro.experiments.colocation import ColocationConfig, make_sla_probe
+        from repro.loadgen.clarknet import clarknet_production_load
+
+        cfg = config or RhythmConfig(profiling_mode=profiling_mode)
+        rhythm = Rhythm(service, RandomStreams(seed), cfg)
+        rhythm.profile()
+        if probe_slacklimits:
+            probe = make_sla_probe(
+                service,
+                rhythm.loadlimits(),
+                evaluation_be_jobs(),
+                # Peak at 85% of MaxLoad: co-location is suspended above
+                # the loadlimits anyway, so probing beyond only measures
+                # solo-run peak tails (which graze the SLA by design and
+                # would mask BE-induced risk).
+                clarknet_production_load(
+                    duration_s=probe_duration_s,
+                    peak_fraction=0.85,
+                    seed=seed + 17,
+                    days=1,
+                ),
+                RandomStreams(seed + 1),
+                config=ColocationConfig(duration_s=probe_duration_s),
+            )
+            rhythm.slacklimits(probe)
+        _RHYTHM_CACHE[key] = rhythm
+    return rhythm
+
+
+def clear_rhythm_cache() -> None:
+    """Drop all cached pipelines (tests use this for isolation)."""
+    _RHYTHM_CACHE.clear()
+
+
+def build_rhythm_controllers(
+    service: ServiceSpec,
+    seed: int = 0,
+    profiling_mode: str = "direct",
+    probe_slacklimits: bool = True,
+) -> Dict[str, TopController]:
+    """Profile (cached) and construct Rhythm's per-Servpod controllers."""
+    return get_rhythm(
+        service, seed, profiling_mode, probe_slacklimits=probe_slacklimits
+    ).controllers()
+
+
+def run_cell(
+    service: ServiceSpec,
+    controllers: Mapping[str, TopController],
+    be_spec: BeJobSpec,
+    pattern: LoadPattern,
+    seed: int = 0,
+    config: Optional[ColocationConfig] = None,
+) -> ColocationResult:
+    """Run one (service, BE, load pattern) cell under one controller set."""
+    experiment = ColocationExperiment(
+        service,
+        controllers,
+        [be_spec],
+        pattern,
+        streams=RandomStreams(seed),
+        config=config,
+    )
+    return experiment.run()
+
+
+@dataclass
+class ComparisonResult:
+    """One grid cell under both systems, with relative improvements."""
+
+    service: str
+    be_job: str
+    load: float
+    rhythm: ColocationResult
+    heracles: ColocationResult
+
+    @staticmethod
+    def _improvement(new: float, old: float) -> float:
+        """(new − old) / old, with a 0-denominator convention.
+
+        When the baseline is zero (e.g. Heracles at 85% load) the paper
+        plots the absolute Rhythm value; we return ``new`` directly,
+        which preserves "Rhythm wins" ordering.
+        """
+        if old <= 1e-9:
+            return new
+        return (new - old) / old
+
+    @property
+    def emu_improvement(self) -> float:
+        """Relative EMU gain of Rhythm over Heracles."""
+        return self._improvement(self.rhythm.emu, self.heracles.emu)
+
+    @property
+    def be_throughput_gain(self) -> float:
+        """Absolute BE-throughput gain (the Figure 9 quantity)."""
+        return self.rhythm.be_throughput - self.heracles.be_throughput
+
+    @property
+    def cpu_improvement(self) -> float:
+        """Relative CPU-utilisation gain."""
+        return self._improvement(
+            self.rhythm.cpu_utilisation, self.heracles.cpu_utilisation
+        )
+
+    @property
+    def membw_improvement(self) -> float:
+        """Relative memory-bandwidth-utilisation gain."""
+        return self._improvement(
+            self.rhythm.membw_utilisation, self.heracles.membw_utilisation
+        )
+
+
+def compare_systems(
+    service: ServiceSpec,
+    be_spec: BeJobSpec,
+    load: float,
+    seed: int = 0,
+    config: Optional[ColocationConfig] = None,
+    pattern: Optional[LoadPattern] = None,
+    heracles_policy: HeraclesPolicy = HeraclesPolicy(),
+    profiling_mode: str = "direct",
+) -> ComparisonResult:
+    """Run one cell under Rhythm and Heracles with matched seeds."""
+    if pattern is None:
+        if not (0.0 <= load <= 1.0):
+            raise ExperimentError(f"load must be in [0,1], got {load!r}")
+        pattern = ConstantLoad(load)
+    rhythm_result = run_cell(
+        service,
+        build_rhythm_controllers(service, seed, profiling_mode),
+        be_spec,
+        pattern,
+        seed=seed,
+        config=config,
+    )
+    heracles_result = run_cell(
+        service,
+        heracles_controllers(service, heracles_policy),
+        be_spec,
+        pattern,
+        seed=seed,
+        config=config,
+    )
+    return ComparisonResult(
+        service=service.name,
+        be_job=be_spec.name,
+        load=load,
+        rhythm=rhythm_result,
+        heracles=heracles_result,
+    )

@@ -1,0 +1,22 @@
+"""Interference modeling.
+
+This package turns BE resource *usage* into LC performance *degradation*:
+
+- :class:`~repro.interference.model.Pressure` — per-resource pressure the
+  co-located BE jobs exert on the machine's shared resources,
+- :class:`~repro.interference.sensitivity.SensitivityVector` — how strongly
+  one LC component's latency reacts to pressure on each resource (this is
+  the paper's central observation: these vectors differ wildly between
+  components of the same service, Figure 2),
+- :class:`~repro.interference.model.InterferenceModel` — combines the two
+  with a load-amplification term into a sojourn-time slowdown factor,
+- :class:`~repro.interference.isolation.IsolationConfig` — which hardware/
+  software isolation mechanisms are active, and how they attenuate raw BE
+  usage into residual pressure.
+"""
+
+from repro.interference.sensitivity import SensitivityVector
+from repro.interference.isolation import IsolationConfig
+from repro.interference.model import InterferenceModel, Pressure
+
+__all__ = ["SensitivityVector", "IsolationConfig", "InterferenceModel", "Pressure"]

@@ -1,0 +1,69 @@
+"""Isolation mechanisms and their attenuation of BE pressure.
+
+The paper's prototype (§4) enables four isolation mechanisms: cpuset core
+pinning, Intel CAT LLC partitioning, qdisc network shaping, and
+RAPL+DVFS power redistribution. None eliminates interference completely —
+cores still share the memory system and power envelope, CAT leaks through
+the shared directory/prefetchers, shaping leaves link contention at the
+NIC queues. :class:`IsolationConfig` captures which mechanisms are on and
+the residual-leak factors used when mapping BE usage to pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IsolationConfig:
+    """Which isolation mechanisms are active, and how leaky they are.
+
+    Attributes
+    ----------
+    cpuset / cat / qdisc / dvfs:
+        Mechanism toggles. All default to on, matching the prototype.
+    cpuset_leak:
+        Residual CPU pressure per BE busy-core fraction when cores are
+        pinned disjointly (shared power, scheduler noise, SMT siblings).
+    cat_leak:
+        Fraction of *unsatisfied* BE cache demand that still perturbs the
+        LC partition (directory conflicts, prefetcher traffic).
+    no_isolation_cpu / no_isolation_cat:
+        Pressure factors when the corresponding mechanism is disabled.
+    """
+
+    cpuset: bool = True
+    cat: bool = True
+    qdisc: bool = True
+    dvfs: bool = True
+    cpuset_leak: float = 0.25
+    cat_leak: float = 0.30
+    no_isolation_cpu: float = 1.0
+    no_isolation_cat: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("cpuset_leak", "cat_leak", "no_isolation_cpu", "no_isolation_cat"):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise ConfigurationError(f"{name} must be in [0,1], got {value!r}")
+
+    def cpu_pressure(self, be_core_fraction: float) -> float:
+        """Residual CPU pressure from BE jobs occupying ``be_core_fraction``."""
+        factor = self.cpuset_leak if self.cpuset else self.no_isolation_cpu
+        return min(1.0, factor * be_core_fraction)
+
+    def llc_pressure(self, occupied_fraction: float, demand_fraction: float) -> float:
+        """Residual LLC pressure given BE cache occupancy and demand.
+
+        With CAT, the LC partition itself is untouched; BE jobs perturb
+        it only through the shared directory, prefetchers and way-fill
+        traffic, so both their occupancy and their unsatisfied demand
+        leak at ``cat_leak``. Without CAT the full demand competes
+        directly with the LC's working set.
+        """
+        if self.cat:
+            total = max(occupied_fraction, demand_fraction)
+            return min(1.0, self.cat_leak * total)
+        return min(1.0, self.no_isolation_cat * demand_fraction)

@@ -1,0 +1,143 @@
+"""Pressure → sojourn-time slowdown.
+
+The characterization in §2 of the paper shows two structural facts that
+this model reproduces:
+
+1. degradation under a fixed interference kind *grows with request load*
+   (every panel of Figure 2 rises left to right), and
+2. degradation at a fixed load *differs sharply between components*
+   (Master vs Slave, Tomcat vs MySQL).
+
+Fact 2 lives in the per-component
+:class:`~repro.interference.sensitivity.SensitivityVector`; fact 1 lives
+in the load-amplification term here. The slowdown for component *c* at
+load *u* under pressure *p* is::
+
+    slowdown = 1 + A(u) * sum_r  S_c[r] * p_r**gamma
+
+with ``A(u) = 1 + beta * u / (headroom + (1 - u))`` growing sharply as the
+load approaches saturation, and ``gamma > 1`` making pressure response
+convex (half-intensity stressors hurt much less than half as much as
+full-intensity ones — compare the big/small stream variants in Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bejobs.job import BeResourceSnapshot
+from repro.errors import ConfigurationError
+from repro.interference.isolation import IsolationConfig
+from repro.interference.sensitivity import PRESSURE_KINDS, SensitivityVector
+
+
+@dataclass(frozen=True)
+class Pressure:
+    """Residual per-resource pressure on the LC Servpod, each in [0, 1]."""
+
+    cpu: float = 0.0
+    llc: float = 0.0
+    membw: float = 0.0
+    net: float = 0.0
+    freq: float = 0.0
+
+    def __post_init__(self) -> None:
+        for kind in PRESSURE_KINDS:
+            value = getattr(self, kind)
+            if not (0.0 <= value <= 1.0):
+                raise ConfigurationError(
+                    f"pressure {kind} must be in [0,1], got {value!r}"
+                )
+
+    @classmethod
+    def from_be_snapshot(
+        cls,
+        snapshot: BeResourceSnapshot,
+        total_cores: int,
+        isolation: IsolationConfig,
+        lc_freq_ratio: float = 1.0,
+    ) -> "Pressure":
+        """Derive pressure from aggregate BE usage on a machine."""
+        be_core_fraction = min(1.0, snapshot.busy_cores / total_cores)
+        return cls(
+            cpu=isolation.cpu_pressure(be_core_fraction),
+            llc=isolation.llc_pressure(
+                snapshot.llc_occupied_fraction, snapshot.llc_demand_fraction
+            ),
+            membw=snapshot.membw_fraction,
+            net=snapshot.net_fraction,
+            freq=max(0.0, 1.0 - lc_freq_ratio),
+        )
+
+    @classmethod
+    def none(cls) -> "Pressure":
+        """Zero pressure — the LC solo run."""
+        return cls()
+
+    def is_zero(self) -> bool:
+        """True when every dimension is exactly zero."""
+        return all(getattr(self, kind) == 0.0 for kind in PRESSURE_KINDS)
+
+
+class InterferenceModel:
+    """Maps (sensitivity, pressure, load) to a sojourn-time slowdown.
+
+    Parameters
+    ----------
+    beta:
+        Strength of load amplification.
+    headroom:
+        Softening constant keeping the amplification finite at 100% load.
+    gamma:
+        Convexity of the pressure response (> 1).
+    sigma_coupling:
+        How much of the median slowdown also widens the sojourn
+        distribution (interference makes latency *noisier*, not just
+        slower; this drives the variance principle of §3.4).
+    sigma_cap:
+        Upper bound on the sigma multiplier — queueing widens tails, but
+        not without limit (admission control and timeouts truncate the
+        far tail on real systems).
+    """
+
+    def __init__(
+        self,
+        beta: float = 1.8,
+        headroom: float = 0.30,
+        gamma: float = 1.6,
+        sigma_coupling: float = 0.12,
+        sigma_cap: float = 1.35,
+    ) -> None:
+        if beta < 0 or headroom <= 0 or gamma < 1.0 or not (0 <= sigma_coupling <= 1):
+            raise ConfigurationError(
+                f"invalid interference parameters beta={beta} headroom={headroom} "
+                f"gamma={gamma} sigma_coupling={sigma_coupling}"
+            )
+        if sigma_cap < 1.0:
+            raise ConfigurationError(f"sigma_cap must be >= 1, got {sigma_cap}")
+        self.beta = beta
+        self.headroom = headroom
+        self.gamma = gamma
+        self.sigma_coupling = sigma_coupling
+        self.sigma_cap = sigma_cap
+
+    def load_amplification(self, load: float) -> float:
+        """The A(u) term: 1 at idle, growing sharply near saturation."""
+        load = min(max(load, 0.0), 1.0)
+        return 1.0 + self.beta * load / (self.headroom + (1.0 - load))
+
+    def slowdown(
+        self, sensitivity: SensitivityVector, pressure: Pressure, load: float
+    ) -> float:
+        """Multiplicative sojourn-time slowdown (>= 1)."""
+        if pressure.is_zero():
+            return 1.0
+        impact = sum(
+            sensitivity.coefficient(kind) * getattr(pressure, kind) ** self.gamma
+            for kind in PRESSURE_KINDS
+        )
+        return 1.0 + self.load_amplification(load) * impact
+
+    def sigma_inflation(self, slowdown: float) -> float:
+        """Multiplier on the lognormal sigma given a median ``slowdown``."""
+        return min(self.sigma_cap, 1.0 + self.sigma_coupling * (slowdown - 1.0))

@@ -1,0 +1,65 @@
+"""Per-component interference sensitivity vectors.
+
+A :class:`SensitivityVector` holds one non-negative coefficient per
+pressure dimension. A coefficient of 0 means the component's latency is
+unaffected by pressure on that resource; larger values mean steeper
+degradation. The catalog in :mod:`repro.workloads.catalog` calibrates one
+vector per LC component so that the qualitative structure of Figure 2 holds
+(e.g. Redis Master ≫ Slave under LLC pressure, MySQL ≫ Tomcat under DRAM
+pressure, Tomcat ≫ MySQL under DVFS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Pressure dimensions, matching :class:`repro.interference.model.Pressure`.
+PRESSURE_KINDS = ("cpu", "llc", "membw", "net", "freq")
+
+
+@dataclass(frozen=True)
+class SensitivityVector:
+    """How strongly a component's sojourn time reacts to each pressure.
+
+    Attributes map 1:1 to :class:`~repro.interference.model.Pressure`
+    dimensions. All coefficients must be finite and >= 0.
+    """
+
+    cpu: float = 0.0
+    llc: float = 0.0
+    membw: float = 0.0
+    net: float = 0.0
+    freq: float = 0.0
+
+    def __post_init__(self) -> None:
+        for kind in PRESSURE_KINDS:
+            value = getattr(self, kind)
+            if not (value >= 0.0):
+                raise ConfigurationError(
+                    f"sensitivity {kind} must be finite and >= 0, got {value!r}"
+                )
+
+    def coefficient(self, kind: str) -> float:
+        """The coefficient for pressure dimension ``kind``."""
+        if kind not in PRESSURE_KINDS:
+            raise ConfigurationError(f"unknown pressure kind {kind!r}")
+        return getattr(self, kind)
+
+    @property
+    def magnitude(self) -> float:
+        """Sum of all coefficients — a crude overall-sensitivity scalar."""
+        return sum(getattr(self, kind) for kind in PRESSURE_KINDS)
+
+    def scaled(self, factor: float) -> "SensitivityVector":
+        """A copy with every coefficient multiplied by ``factor`` (>= 0)."""
+        if not (factor >= 0.0):
+            raise ConfigurationError(f"scale factor must be >= 0, got {factor!r}")
+        return SensitivityVector(
+            cpu=self.cpu * factor,
+            llc=self.llc * factor,
+            membw=self.membw * factor,
+            net=self.net * factor,
+            freq=self.freq * factor,
+        )

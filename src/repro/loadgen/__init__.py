@@ -1,0 +1,29 @@
+"""Load generation: request-rate patterns and arrival processes.
+
+- :mod:`repro.loadgen.patterns` — constant/step/diurnal load shapes,
+- :mod:`repro.loadgen.clarknet` — the synthetic ClarkNet-like production
+  trace used in §5.3 (five days of diurnal web traffic scaled to six
+  hours),
+- :mod:`repro.loadgen.generator` — Poisson request-count generation per
+  measurement window with sampling caps.
+"""
+
+from repro.loadgen.patterns import (
+    ConstantLoad,
+    DiurnalLoad,
+    LoadPattern,
+    StepLoad,
+    SweepLoad,
+)
+from repro.loadgen.clarknet import clarknet_production_load
+from repro.loadgen.generator import WindowLoadGenerator
+
+__all__ = [
+    "LoadPattern",
+    "ConstantLoad",
+    "StepLoad",
+    "DiurnalLoad",
+    "SweepLoad",
+    "clarknet_production_load",
+    "WindowLoadGenerator",
+]

@@ -1,0 +1,117 @@
+"""Request-load patterns.
+
+A :class:`LoadPattern` maps simulation time (seconds) to a load fraction
+of the service's MaxLoad. Patterns are pure functions of time so every
+controller and metric window sees a consistent load signal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Protocol, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class LoadPattern(Protocol):
+    """Anything that maps time to a load fraction."""
+
+    def load_at(self, t: float) -> float:
+        """Load fraction of MaxLoad at simulation time ``t`` (seconds)."""
+        ...
+
+
+class ConstantLoad:
+    """A fixed load fraction (the §5.2 constant-load experiments)."""
+
+    def __init__(self, fraction: float) -> None:
+        if not (0.0 <= fraction <= 1.0):
+            raise ConfigurationError(f"load fraction must be in [0,1], got {fraction!r}")
+        self.fraction = float(fraction)
+
+    def load_at(self, t: float) -> float:
+        """The constant fraction, for any ``t``."""
+        return self.fraction
+
+
+class StepLoad:
+    """Piecewise-constant load: a list of (start_time, fraction) steps."""
+
+    def __init__(self, steps: Sequence[Tuple[float, float]]) -> None:
+        if not steps:
+            raise ConfigurationError("StepLoad needs at least one step")
+        ordered = sorted(steps)
+        for _, fraction in ordered:
+            if not (0.0 <= fraction <= 1.0):
+                raise ConfigurationError(f"step fraction {fraction!r} out of [0,1]")
+        self.steps = ordered
+
+    def load_at(self, t: float) -> float:
+        """The fraction of the last step whose start time is <= ``t``."""
+        current = self.steps[0][1]
+        for start, fraction in self.steps:
+            if t >= start:
+                current = fraction
+            else:
+                break
+        return current
+
+
+class DiurnalLoad:
+    """A smooth day/night cycle: ``base + amplitude * sin`` shape."""
+
+    def __init__(
+        self,
+        base: float = 0.55,
+        amplitude: float = 0.35,
+        period_s: float = 86400.0,
+        phase_s: float = 0.0,
+    ) -> None:
+        if period_s <= 0:
+            raise ConfigurationError(f"period must be positive, got {period_s}")
+        if not (0.0 <= base - amplitude and base + amplitude <= 1.0):
+            raise ConfigurationError(
+                f"diurnal range [{base - amplitude}, {base + amplitude}] leaves [0,1]"
+            )
+        self.base = base
+        self.amplitude = amplitude
+        self.period_s = period_s
+        self.phase_s = phase_s
+
+    def load_at(self, t: float) -> float:
+        """Sinusoidal load at ``t``."""
+        angle = 2.0 * math.pi * (t + self.phase_s) / self.period_s
+        return self.base + self.amplitude * math.sin(angle)
+
+
+class SweepLoad:
+    """Linear ramp from ``start`` to ``end`` over ``duration_s`` seconds."""
+
+    def __init__(self, start: float, end: float, duration_s: float) -> None:
+        for fraction in (start, end):
+            if not (0.0 <= fraction <= 1.0):
+                raise ConfigurationError(f"sweep fraction {fraction!r} out of [0,1]")
+        if duration_s <= 0:
+            raise ConfigurationError(f"duration must be positive, got {duration_s}")
+        self.start = start
+        self.end = end
+        self.duration_s = duration_s
+
+    def load_at(self, t: float) -> float:
+        """Linearly interpolated load, clamped past the ramp's end."""
+        if t <= 0:
+            return self.start
+        if t >= self.duration_s:
+            return self.end
+        return self.start + (self.end - self.start) * (t / self.duration_s)
+
+
+class CallableLoad:
+    """Adapts a plain function ``t -> fraction`` to the pattern protocol."""
+
+    def __init__(self, fn: Callable[[float], float]) -> None:
+        self._fn = fn
+
+    def load_at(self, t: float) -> float:
+        """Delegate to the wrapped callable, clamped into [0, 1]."""
+        return min(1.0, max(0.0, float(self._fn(t))))

@@ -1,0 +1,87 @@
+"""EMU — effective machine utilisation (§5.1).
+
+``EMU = LC_throughput + BE_throughput`` where LC throughput is the
+request load normalized to MaxLoad and BE throughput is the BE completion
+rate normalized to a solo machine run. EMU may exceed 1 thanks to
+resource sharing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class EmuAccumulator:
+    """Time-integrates LC load and BE progress into an average EMU."""
+
+    def __init__(self) -> None:
+        self._lc_integral = 0.0
+        self._be_integral = 0.0
+        self._elapsed = 0.0
+
+    def observe(self, dt: float, lc_load: float, be_rate: float) -> None:
+        """Record ``dt`` seconds at the given LC load and total BE rate."""
+        if dt < 0:
+            raise ConfigurationError(f"negative interval {dt}")
+        if lc_load < 0 or be_rate < 0:
+            raise ConfigurationError(
+                f"negative throughput lc={lc_load} be={be_rate}"
+            )
+        self._lc_integral += lc_load * dt
+        self._be_integral += be_rate * dt
+        self._elapsed += dt
+
+    @property
+    def elapsed(self) -> float:
+        """Total observed seconds."""
+        return self._elapsed
+
+    @property
+    def lc_throughput(self) -> float:
+        """Time-averaged LC throughput (load fraction)."""
+        return self._lc_integral / self._elapsed if self._elapsed > 0 else 0.0
+
+    @property
+    def be_throughput(self) -> float:
+        """Time-averaged normalized BE throughput."""
+        return self._be_integral / self._elapsed if self._elapsed > 0 else 0.0
+
+    @property
+    def emu(self) -> float:
+        """Average EMU over the observation period."""
+        return self.lc_throughput + self.be_throughput
+
+
+class UtilisationAccumulator:
+    """Time-averaged CPU and memory-bandwidth utilisation of a machine."""
+
+    def __init__(self, total_cores: float, total_membw_fraction: float = 1.0) -> None:
+        if total_cores <= 0:
+            raise ConfigurationError(f"total_cores must be positive, got {total_cores}")
+        self.total_cores = float(total_cores)
+        self.total_membw = float(total_membw_fraction)
+        self._cpu_integral = 0.0
+        self._membw_integral = 0.0
+        self._elapsed = 0.0
+
+    def observe(self, dt: float, busy_cores: float, membw_fraction: float) -> None:
+        """Record ``dt`` seconds of resource usage."""
+        if dt < 0:
+            raise ConfigurationError(f"negative interval {dt}")
+        self._cpu_integral += min(busy_cores, self.total_cores) * dt
+        self._membw_integral += min(membw_fraction, self.total_membw) * dt
+        self._elapsed += dt
+
+    @property
+    def cpu_utilisation(self) -> float:
+        """Average busy-core fraction in [0, 1]."""
+        if self._elapsed <= 0:
+            return 0.0
+        return self._cpu_integral / (self.total_cores * self._elapsed)
+
+    @property
+    def membw_utilisation(self) -> float:
+        """Average DRAM-bandwidth fraction in [0, 1]."""
+        if self._elapsed <= 0:
+            return 0.0
+        return self._membw_integral / (self.total_membw * self._elapsed)

@@ -1,0 +1,111 @@
+"""Tail-latency estimation.
+
+The paper tracks the 99th percentile latency per second (SLA definition,
+§5.1) and feeds a windowed tail estimate to the runtime controller.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile of ``samples`` (must be non-empty)."""
+    if len(samples) == 0:
+        raise ConfigurationError("cannot take a percentile of zero samples")
+    if not (0.0 <= pct <= 100.0):
+        raise ConfigurationError(f"percentile must be in [0,100], got {pct!r}")
+    return float(np.percentile(np.asarray(samples, dtype=float), pct))
+
+
+class ReservoirSampler:
+    """Fixed-size uniform reservoir over an unbounded sample stream."""
+
+    def __init__(self, capacity: int = 4096, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._rng = np.random.default_rng(seed)
+        self._store: List[float] = []
+        self._seen = 0
+
+    def add(self, value: float) -> None:
+        """Offer one sample to the reservoir."""
+        self._seen += 1
+        if len(self._store) < self.capacity:
+            self._store.append(float(value))
+        else:
+            j = int(self._rng.integers(0, self._seen))
+            if j < self.capacity:
+                self._store[j] = float(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Offer many samples."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def seen(self) -> int:
+        """Total samples offered."""
+        return self._seen
+
+    def percentile(self, pct: float) -> float:
+        """Percentile estimate over the retained sample."""
+        return percentile(self._store, pct)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class WindowedTailTracker:
+    """Per-window tail percentile with worst-case retention.
+
+    Mirrors how the paper defines SLAs: record the tail percentile per
+    window (per second in the paper) and keep the worst one.
+    """
+
+    def __init__(self, pct: float = 99.0) -> None:
+        if not (0.0 < pct < 100.0):
+            raise ConfigurationError(f"tail percentile must be in (0,100), got {pct}")
+        self.pct = float(pct)
+        self._window: List[float] = []
+        self._per_window: List[float] = []
+        self._worst: Optional[float] = None
+
+    def add_samples(self, values: Iterable[float]) -> None:
+        """Add latency samples to the current window."""
+        self._window.extend(float(v) for v in values)
+
+    def roll_window(self) -> Optional[float]:
+        """Close the current window; returns its tail (None if empty)."""
+        if not self._window:
+            return None
+        tail = percentile(self._window, self.pct)
+        self._per_window.append(tail)
+        if self._worst is None or tail > self._worst:
+            self._worst = tail
+        self._window.clear()
+        return tail
+
+    @property
+    def current_tail(self) -> Optional[float]:
+        """Tail of the most recently closed window."""
+        return self._per_window[-1] if self._per_window else None
+
+    @property
+    def worst_tail(self) -> Optional[float]:
+        """Worst per-window tail seen so far."""
+        return self._worst
+
+    @property
+    def window_tails(self) -> List[float]:
+        """Tails of every closed window, in order."""
+        return list(self._per_window)
+
+    def violation_count(self, sla: float) -> int:
+        """Number of closed windows whose tail exceeded ``sla``."""
+        return sum(1 for tail in self._per_window if tail > sla)

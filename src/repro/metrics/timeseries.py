@@ -1,0 +1,71 @@
+"""A minimal timestamped series with the summaries experiments need."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class TimeSeries:
+    """Append-only (time, value) series; times must be non-decreasing."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        """Record ``value`` at time ``t`` (>= the previous time)."""
+        if self._times and t < self._times[-1]:
+            raise ConfigurationError(
+                f"{self.name or 'series'}: time went backwards "
+                f"({self._times[-1]} -> {t})"
+            )
+        self._times.append(float(t))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    @property
+    def times(self) -> np.ndarray:
+        """Timestamps as an array."""
+        return np.asarray(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Values as an array."""
+        return np.asarray(self._values)
+
+    def mean(self) -> float:
+        """Unweighted mean of the values."""
+        if not self._values:
+            raise ConfigurationError(f"{self.name or 'series'}: empty")
+        return float(np.mean(self._values))
+
+    def max(self) -> float:
+        """Maximum value."""
+        if not self._values:
+            raise ConfigurationError(f"{self.name or 'series'}: empty")
+        return float(np.max(self._values))
+
+    def time_weighted_mean(self) -> float:
+        """Mean weighted by holding time (value held until the next stamp)."""
+        if len(self._times) < 2:
+            return self.mean()
+        times = self.times
+        values = self.values
+        dt = np.diff(times)
+        return float(np.sum(values[:-1] * dt) / np.sum(dt))
+
+    def last(self) -> float:
+        """The most recent value."""
+        if not self._values:
+            raise ConfigurationError(f"{self.name or 'series'}: empty")
+        return self._values[-1]

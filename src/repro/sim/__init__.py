@@ -1,0 +1,18 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: a :class:`~repro.sim.clock.Clock`, a
+priority :class:`~repro.sim.events.EventQueue`, an
+:class:`~repro.sim.engine.Engine` that drains the queue, and deterministic
+named random streams (:class:`~repro.sim.rng.RandomStreams`).
+
+Every stochastic component of the simulator draws from a *named* stream so
+that experiments are reproducible and statistically independent subsystems
+stay independent when one of them changes how many draws it makes.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.events import Event, EventQueue
+from repro.sim.engine import Engine
+from repro.sim.rng import RandomStreams
+
+__all__ = ["Clock", "Event", "EventQueue", "Engine", "RandomStreams"]

@@ -1,0 +1,56 @@
+"""Simulation clock.
+
+Time is measured in *seconds* as a float. The clock only moves forward;
+moving it backwards raises :class:`~repro.errors.ClockError` because a
+backwards move would silently corrupt every time-ordered statistic in the
+simulator.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClockError
+
+
+class Clock:
+    """A monotonically non-decreasing simulation clock.
+
+    Parameters
+    ----------
+    start:
+        Initial simulation time in seconds. Must be finite and >= 0.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if not (start >= 0.0):  # also rejects NaN
+            raise ClockError(f"clock must start at a finite time >= 0, got {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute time ``t``.
+
+        Raises
+        ------
+        ClockError
+            If ``t`` is earlier than the current time or not finite.
+        """
+        if not (t >= self._now):  # also rejects NaN
+            raise ClockError(
+                f"cannot move clock backwards: now={self._now}, requested={t!r}"
+            )
+        self._now = float(t)
+
+    def advance_by(self, dt: float) -> None:
+        """Move the clock forward by ``dt`` seconds (must be >= 0)."""
+        if not (dt >= 0.0):
+            raise ClockError(f"cannot advance clock by negative delta {dt!r}")
+        self._now += float(dt)
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now:.6f})"

@@ -1,0 +1,142 @@
+"""The discrete-event simulation engine.
+
+The engine owns a :class:`~repro.sim.clock.Clock` and an
+:class:`~repro.sim.events.EventQueue` and drains events in time order until
+a horizon is reached or the queue empties. Periodic activities (load
+generators, controllers, metric snapshots) register through
+:meth:`Engine.every`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+from repro.sim.events import Event, EventCallback, EventQueue
+
+
+class Engine:
+    """Run a discrete-event simulation.
+
+    Priorities used across the simulator (lower fires first at equal time):
+
+    - ``PRIORITY_ARRIVAL`` (0): request arrivals / BE work completions.
+    - ``PRIORITY_METRICS`` (5): metric window rollovers.
+    - ``PRIORITY_CONTROL`` (10): controller ticks — run last so they see
+      all activity up to and including their tick time.
+    """
+
+    PRIORITY_ARRIVAL = 0
+    PRIORITY_METRICS = 5
+    PRIORITY_CONTROL = 10
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = Clock(start)
+        self.queue = EventQueue()
+        self._running = False
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self.clock.now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (skipped/cancelled not counted)."""
+        return self._events_fired
+
+    def at(self, time: float, callback: EventCallback, priority: int = 0) -> Event:
+        """Schedule ``callback`` at absolute simulation ``time``."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: now={self.clock.now}, at={time}"
+            )
+        return self.queue.push(time, callback, priority)
+
+    def after(self, delay: float, callback: EventCallback, priority: int = 0) -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now (``delay`` >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.queue.push(self.clock.now + delay, callback, priority)
+
+    def every(
+        self,
+        period: float,
+        callback: Callable[[float], Any],
+        priority: int = 0,
+        first_at: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> Callable[[], None]:
+        """Schedule ``callback`` periodically; returns a cancel function.
+
+        The callback fires at ``first_at`` (default: now + period) and then
+        every ``period`` seconds until cancelled or ``until`` is passed.
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period!r}")
+        state: dict[str, Any] = {"cancelled": False, "event": None}
+
+        def fire(t: float) -> None:
+            if state["cancelled"]:
+                return
+            callback(t)
+            next_t = t + period
+            if until is None or next_t <= until:
+                state["event"] = self.at(next_t, fire, priority)
+
+        start = self.clock.now + period if first_at is None else first_at
+        if until is None or start <= until:
+            state["event"] = self.at(start, fire, priority)
+
+        def cancel() -> None:
+            state["cancelled"] = True
+            event = state["event"]
+            if event is not None:
+                event.cancel()
+
+        return cancel
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire after this time; the clock
+            is advanced to ``until`` on a horizon stop.
+        max_events:
+            Safety valve against runaway schedules.
+
+        Returns
+        -------
+        int
+            The number of events fired during this call.
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    if until is not None:
+                        self.clock.advance_to(until)
+                    break
+                if until is not None and next_time > until:
+                    self.clock.advance_to(until)
+                    break
+                event = self.queue.pop()
+                if event is None:  # pragma: no cover - raced cancellation
+                    continue
+                self.clock.advance_to(event.time)
+                event.callback(event.time)
+                fired += 1
+                self._events_fired += 1
+        finally:
+            self._running = False
+        return fired

@@ -1,0 +1,89 @@
+"""Event and event-queue primitives for the simulation kernel.
+
+Events are ordered by ``(time, priority, sequence)``. The sequence number
+makes ordering total and FIFO-stable for events scheduled at the same time
+and priority, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+# An event callback receives the firing time.
+EventCallback = Callable[[float], Any]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulation event.
+
+    Attributes
+    ----------
+    time:
+        Absolute firing time in seconds.
+    priority:
+        Lower fires first among events at the same time. Controllers use a
+        lower priority than request completions so that control decisions
+        observe a consistent snapshot of the second that just elapsed.
+    seq:
+        Tie-breaking sequence number (assigned by the queue).
+    callback:
+        Callable invoked as ``callback(time)`` when the event fires.
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the engine skips it; O(1)."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not e.cancelled for e in self._heap)
+
+    def push(self, time: float, callback: EventCallback, priority: int = 0) -> Event:
+        """Schedule ``callback`` at absolute ``time`` and return the event."""
+        if not (time >= 0.0):
+            raise SimulationError(f"event time must be finite and >= 0, got {time!r}")
+        event = Event(time=float(time), priority=priority, seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest live event without popping."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def clear(self) -> None:
+        """Drop every scheduled event."""
+        self._heap.clear()

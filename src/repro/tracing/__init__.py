@@ -1,0 +1,40 @@
+"""Non-intrusive request tracing (§3.3 of the paper).
+
+The real system derives per-Servpod sojourn times from four kernel events
+captured with SystemTap — ACCEPT, RECV, SEND, CLOSE — each tagged with a
+*context identifier* (hostIP, program, pid, tid) and a *message
+identifier* (the TCP 5-tuple). This package reproduces that pipeline:
+
+- :mod:`repro.tracing.events` — the event record and identifier types,
+- :mod:`repro.tracing.emitter` — generates realistic event streams from
+  request executions, including unrelated-process noise, non-blocking
+  thread reordering and persistent-TCP message-id reuse,
+- :mod:`repro.tracing.causality` — intra-/inter-Servpod event matching,
+- :mod:`repro.tracing.cpg` — causal path graph construction (Figure 4),
+- :mod:`repro.tracing.sojourn` — sojourn-time extraction, including the
+  paper's mean-preservation argument for mismatched pairings,
+- :mod:`repro.tracing.jaeger` — the built-in tracer used for SNMS.
+"""
+
+from repro.tracing.events import ContextId, EventType, MessageId, SysEvent
+from repro.tracing.emitter import EmitterConfig, ServpodEndpoint, TraceEmitter
+from repro.tracing.causality import CausalityMatcher, MatchedSegment
+from repro.tracing.cpg import CausalPathGraph
+from repro.tracing.sojourn import SojournExtractor, SojournStats
+from repro.tracing.jaeger import JaegerTracer
+
+__all__ = [
+    "ContextId",
+    "EventType",
+    "MessageId",
+    "SysEvent",
+    "EmitterConfig",
+    "ServpodEndpoint",
+    "TraceEmitter",
+    "CausalityMatcher",
+    "MatchedSegment",
+    "CausalPathGraph",
+    "SojournExtractor",
+    "SojournStats",
+    "JaegerTracer",
+]

@@ -1,0 +1,178 @@
+"""Event filtering and causality matching (§3.3).
+
+The matcher reconstructs structure from a flat, noisy event stream using
+only the deployment knowledge an operator has — which hosts/programs/
+listen-ports belong to the service — plus the context and message
+identifiers carried by each event. It never reads the ground-truth
+``request_id`` field.
+
+Matching rules, straight from the paper:
+
+- **intra-Servpod**: a RECV happens-before the next SEND sharing the
+  same context identifier (hostIP, program, pid, tid), paired FIFO in
+  timestamp order. For blocking servers one thread serves one request,
+  so pairing is exact; for non-blocking servers every request shares the
+  event-loop thread and pairing can mis-attribute segments — but the
+  *sum* of spans (hence the mean sojourn) is invariant (Figure 5).
+- **inter-Servpod**: a SEND happens-before the RECV sharing the same
+  message identifier, paired FIFO in timestamp order; with persistent
+  TCP connections many requests share a 5-tuple and the same
+  sum-preservation argument applies.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import CausalityError
+from repro.tracing.emitter import CLIENT_IP, CLIENT_PROGRAM, ServpodEndpoint
+from repro.tracing.events import ContextId, EventType, SysEvent
+
+
+@dataclass(frozen=True)
+class MatchedSegment:
+    """One local-processing segment at a Servpod: RECV paired with SEND."""
+
+    servpod: str
+    recv: SysEvent
+    send: SysEvent
+
+    @property
+    def span_ms(self) -> float:
+        """The segment's duration."""
+        return self.send.timestamp - self.recv.timestamp
+
+
+@dataclass(frozen=True)
+class InterPair:
+    """A SEND at one endpoint matched to the RECV at its peer."""
+
+    send: SysEvent
+    recv: SysEvent
+
+
+class CausalityMatcher:
+    """Filters noise and matches event causality for one LC service."""
+
+    def __init__(self, endpoints: Dict[str, ServpodEndpoint]) -> None:
+        if not endpoints:
+            raise CausalityError("matcher needs the service's Servpod endpoints")
+        self.endpoints = dict(endpoints)
+        self._by_ip = {ep.host_ip: ep for ep in endpoints.values()}
+        self._listen_ports = {ep.host_ip: ep.listen_port for ep in endpoints.values()}
+        self._known_ips = set(self._by_ip) | {CLIENT_IP}
+        self._known_programs = {ep.program for ep in endpoints.values()} | {CLIENT_PROGRAM}
+
+    # -- filtering ----------------------------------------------------------
+
+    def filter(self, events: Iterable[SysEvent]) -> List[SysEvent]:
+        """Drop events from unrelated processes or communications."""
+        clean: List[SysEvent] = []
+        for event in events:
+            if event.context.program not in self._known_programs:
+                continue  # unrelated process (context-identifier filter)
+            if event.message is not None:
+                msg = event.message
+                if msg.sender_ip not in self._known_ips or msg.receiver_ip not in self._known_ips:
+                    continue  # unrelated communication (message-identifier filter)
+            clean.append(event)
+        clean.sort(key=SysEvent.sort_key)
+        return clean
+
+    # -- intra-Servpod causality -----------------------------------------
+
+    def intra_segments(self, events: Iterable[SysEvent]) -> List[MatchedSegment]:
+        """Pair RECV→SEND per context identifier, FIFO in time order.
+
+        Only Servpod-side events participate (the client's SEND-first
+        pattern is handled by :meth:`client_latencies`).
+        """
+        pending: Dict[ContextId, deque] = defaultdict(deque)
+        segments: List[MatchedSegment] = []
+        for event in self._sorted_data_events(events):
+            pod = self._servpod_of(event.context)
+            if pod is None:
+                continue
+            if event.etype == EventType.RECV:
+                pending[event.context].append(event)
+            elif event.etype == EventType.SEND:
+                queue = pending[event.context]
+                if queue:
+                    recv = queue.popleft()
+                    segments.append(MatchedSegment(servpod=pod, recv=recv, send=event))
+        return segments
+
+    # -- inter-Servpod causality -------------------------------------------
+
+    def inter_pairs(self, events: Iterable[SysEvent]) -> List[InterPair]:
+        """Pair SEND with the peer RECV sharing the message id, FIFO."""
+        pending: Dict[tuple, deque] = defaultdict(deque)
+        pairs: List[InterPair] = []
+        for event in self._sorted_data_events(events):
+            if event.message is None:
+                continue
+            flow = event.message.flow
+            if event.etype == EventType.SEND:
+                pending[flow].append(event)
+            elif event.etype == EventType.RECV:
+                queue = pending[flow]
+                if queue:
+                    pairs.append(InterPair(send=queue.popleft(), recv=event))
+        return pairs
+
+    # -- client-side end-to-end latency -----------------------------------------
+
+    def client_latencies(self, events: Iterable[SysEvent]) -> List[float]:
+        """End-to-end latencies observed at the client (SEND→RECV pairs)."""
+        pending: Dict[ContextId, deque] = defaultdict(deque)
+        latencies: List[float] = []
+        for event in self._sorted_data_events(events):
+            if event.context.program != CLIENT_PROGRAM:
+                continue
+            if event.etype == EventType.SEND:
+                pending[event.context].append(event)
+            elif event.etype == EventType.RECV:
+                queue = pending[event.context]
+                if queue:
+                    latencies.append(event.timestamp - queue.popleft().timestamp)
+        return latencies
+
+    # -- request-direction classification --------------------------------------
+
+    def is_request_direction(self, event: SysEvent) -> bool:
+        """True when the event's message targets a Servpod listen port."""
+        if event.message is None:
+            return False
+        port = self._listen_ports.get(event.message.receiver_ip)
+        return port is not None and event.message.receiver_port == port
+
+    def entry_recv_count(self, events: Iterable[SysEvent]) -> Dict[str, int]:
+        """Per-Servpod count of inbound *request* RECVs (= visits)."""
+        counts: Dict[str, int] = defaultdict(int)
+        for event in events:
+            if event.etype != EventType.RECV or not self.is_request_direction(event):
+                continue
+            pod = self._servpod_of(event.context)
+            if pod is not None:
+                counts[pod] += 1
+        return dict(counts)
+
+    # -- helpers ------------------------------------------------------------
+
+    def servpod_of(self, context: ContextId) -> Optional[str]:
+        """The Servpod a context identifier belongs to (None if unknown)."""
+        return self._servpod_of(context)
+
+    def _servpod_of(self, context: ContextId) -> Optional[str]:
+        endpoint = self._by_ip.get(context.host_ip)
+        if endpoint is None or endpoint.program != context.program:
+            return None
+        return endpoint.servpod
+
+    @staticmethod
+    def _sorted_data_events(events: Iterable[SysEvent]) -> List[SysEvent]:
+        data = [e for e in events if e.etype in (EventType.RECV, EventType.SEND)]
+        data.sort(key=SysEvent.sort_key)
+        return data

@@ -1,0 +1,244 @@
+"""Synthetic kernel-event stream generation.
+
+:class:`TraceEmitter` turns timestamped request executions
+(:class:`~repro.workloads.request.RequestRecord`) into the flat, global,
+noisy stream of ACCEPT/RECV/SEND/CLOSE events a SystemTap probe would
+capture — which the causality matcher must then untangle.
+
+Realism knobs (all per the paper's §3.3 discussion):
+
+- **noise events** from unrelated processes and communications, which the
+  matcher must filter via context/message identifiers;
+- **blocking vs non-blocking** Servpods: blocking servers use one thread
+  per in-flight request (thread id identifies the request within a pod);
+  non-blocking servers multiplex every request onto one event-loop thread,
+  so order-based RECV/SEND pairing can mis-attribute segments (Figure 5);
+- **ephemeral vs persistent TCP**: ephemeral connections give every
+  request-edge a unique 5-tuple; persistent connections reuse one 5-tuple
+  per Servpod pair, making inter-Servpod matching ambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.errors import TracingError
+from repro.tracing.events import ContextId, EventType, MessageId, SysEvent
+from repro.workloads.request import RequestRecord, SojournSegment
+
+#: The client's synthetic endpoint.
+CLIENT_IP = "10.0.0.1"
+CLIENT_PROGRAM = "loadgen"
+
+#: Base for ephemeral source ports.
+_EPHEMERAL_BASE = 20000
+#: Fixed source port used by persistent connections.
+_PERSISTENT_PORT = 4000
+
+
+@dataclass(frozen=True)
+class ServpodEndpoint:
+    """Network identity of one Servpod."""
+
+    servpod: str
+    host_ip: str
+    program: str
+    pid: int
+    listen_port: int
+
+
+@dataclass
+class EmitterConfig:
+    """Behavioural knobs of the emitted trace."""
+
+    blocking: bool = True
+    persistent_connections: bool = False
+    #: Noise events per request (unrelated processes + communications).
+    noise_per_request: float = 2.0
+    #: Emit per-request ACCEPT/CLOSE at the entry Servpod.
+    emit_accept_close: bool = True
+    #: One-way network transit between endpoints (must match the hop used
+    #: when the request executions were built, so a SEND's timestamp
+    #: strictly precedes its peer RECV's).
+    hop_ms: float = 0.02
+    seed: int = 0
+
+
+def default_endpoints(servpods: Iterable[str]) -> Dict[str, ServpodEndpoint]:
+    """Assign deterministic IPs/ports/pids to Servpods in order."""
+    endpoints = {}
+    for i, name in enumerate(servpods):
+        endpoints[name] = ServpodEndpoint(
+            servpod=name,
+            host_ip=f"10.0.1.{i + 10}",
+            program=name,
+            pid=1000 + i,
+            listen_port=7000 + i,
+        )
+    return endpoints
+
+
+class TraceEmitter:
+    """Generates a global kernel-event stream from request executions."""
+
+    def __init__(
+        self,
+        endpoints: Dict[str, ServpodEndpoint],
+        config: Optional[EmitterConfig] = None,
+    ) -> None:
+        if not endpoints:
+            raise TracingError("emitter needs at least one Servpod endpoint")
+        self.endpoints = dict(endpoints)
+        self.config = config or EmitterConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._port_counter = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def emit(self, records: Iterable[RequestRecord]) -> List[SysEvent]:
+        """Emit the time-sorted event stream for ``records`` (plus noise)."""
+        events: List[SysEvent] = []
+        n_requests = 0
+        t_min, t_max = float("inf"), float("-inf")
+        for record in records:
+            n_requests += 1
+            events.extend(self._emit_request(record))
+        if events:
+            t_min = min(e.timestamp for e in events)
+            t_max = max(e.timestamp for e in events)
+            events.extend(self._emit_noise(n_requests, t_min, t_max))
+        events.sort(key=SysEvent.sort_key)
+        return events
+
+    # -- request expansion -----------------------------------------------
+
+    def _emit_request(self, record: RequestRecord) -> List[SysEvent]:
+        events: List[SysEvent] = []
+        segments = {seg.seg_id: seg for seg in record.segments}
+        for seg in record.segments:
+            parent = segments.get(seg.parent_seg)
+            events.extend(self._emit_edge(record, seg, parent))
+        return events
+
+    def _emit_edge(
+        self,
+        record: RequestRecord,
+        seg: SojournSegment,
+        parent: Optional[SojournSegment],
+    ) -> List[SysEvent]:
+        """Events for the caller→callee edge ending at ``seg``.
+
+        Four data events per edge: SEND at the caller, RECV at the callee
+        (request direction), then SEND at the callee and RECV at the
+        caller (reply direction).
+        """
+        callee = self._endpoint(seg.servpod)
+        if parent is None:
+            caller_ip, caller_ctx = CLIENT_IP, self._client_context(record)
+        else:
+            caller_ep = self._endpoint(parent.servpod)
+            caller_ip = caller_ep.host_ip
+            caller_ctx = self._pod_context(caller_ep, record)
+        callee_ctx = self._pod_context(callee, record)
+
+        src_port = self._source_port(caller_ip, callee)
+        size = int(self._rng.integers(200, 4000))
+        msg_req = MessageId(
+            sender_ip=caller_ip,
+            sender_port=src_port,
+            receiver_ip=callee.host_ip,
+            receiver_port=callee.listen_port,
+            size=size,
+        )
+        msg_reply = msg_req.reversed()
+        t0 = record.t_start
+        hop = self.config.hop_ms
+        # Request executions place the callee's arrival/departure stamps;
+        # the wire adds one hop on each direction.
+        send_req_t = t0 + seg.arrive - hop
+        recv_req_t = t0 + seg.arrive
+        send_reply_t = t0 + seg.depart
+        recv_reply_t = t0 + seg.depart + hop
+
+        rid = record.request_id
+        events = [
+            SysEvent(EventType.SEND, send_req_t, caller_ctx, msg_req, rid),
+            SysEvent(EventType.RECV, recv_req_t, callee_ctx, msg_req, rid),
+            SysEvent(EventType.SEND, send_reply_t, callee_ctx, msg_reply, rid),
+            SysEvent(EventType.RECV, recv_reply_t, caller_ctx, msg_reply, rid),
+        ]
+        if parent is None and self.config.emit_accept_close:
+            events.insert(
+                1, SysEvent(EventType.ACCEPT, recv_req_t, callee_ctx, None, rid)
+            )
+            events.append(
+                SysEvent(EventType.CLOSE, send_reply_t, callee_ctx, None, rid)
+            )
+        return events
+
+    # -- identity helpers ------------------------------------------------
+
+    def _endpoint(self, servpod: str) -> ServpodEndpoint:
+        try:
+            return self.endpoints[servpod]
+        except KeyError:
+            raise TracingError(f"no endpoint registered for Servpod {servpod!r}") from None
+
+    def _client_context(self, record: RequestRecord) -> ContextId:
+        return ContextId(
+            host_ip=CLIENT_IP,
+            program=CLIENT_PROGRAM,
+            pid=1,
+            tid=record.request_id if self.config.blocking else 1,
+        )
+
+    def _pod_context(self, endpoint: ServpodEndpoint, record: RequestRecord) -> ContextId:
+        """Blocking pods run one thread per request; non-blocking share one."""
+        tid = record.request_id if self.config.blocking else 1
+        return ContextId(
+            host_ip=endpoint.host_ip,
+            program=endpoint.program,
+            pid=endpoint.pid,
+            tid=tid,
+        )
+
+    def _source_port(self, caller_ip: str, callee: ServpodEndpoint) -> int:
+        """Ephemeral: unique per edge. Persistent: one pooled connection."""
+        if self.config.persistent_connections:
+            return _PERSISTENT_PORT
+        self._port_counter += 1
+        return _EPHEMERAL_BASE + self._port_counter
+
+    # -- noise -----------------------------------------------------------------
+
+    def _emit_noise(self, n_requests: int, t_min: float, t_max: float) -> List[SysEvent]:
+        """Unrelated-process events the matcher must filter out."""
+        n = int(round(self.config.noise_per_request * n_requests))
+        if n <= 0:
+            return []
+        noise_programs = ("kworker", "sshd", "systemd-journal", "cron")
+        events: List[SysEvent] = []
+        pods = list(self.endpoints.values())
+        times = self._rng.uniform(t_min, t_max, size=n)
+        for i in range(n):
+            pod = pods[int(self._rng.integers(0, len(pods)))]
+            program = noise_programs[int(self._rng.integers(0, len(noise_programs)))]
+            ctx = ContextId(
+                host_ip=pod.host_ip,
+                program=program,
+                pid=int(self._rng.integers(2, 999)),
+                tid=int(self._rng.integers(1, 64)),
+            )
+            etype = EventType.SEND if self._rng.random() < 0.5 else EventType.RECV
+            msg = MessageId(
+                sender_ip=f"172.16.{self._rng.integers(0, 255)}.{self._rng.integers(1, 255)}",
+                sender_port=int(self._rng.integers(1024, 65535)),
+                receiver_ip=pod.host_ip,
+                receiver_port=int(self._rng.integers(1024, 65535)),
+                size=int(self._rng.integers(40, 1500)),
+            )
+            events.append(SysEvent(etype, float(times[i]), ctx, msg, request_id=-1))
+        return events

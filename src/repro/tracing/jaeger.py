@@ -1,0 +1,64 @@
+"""Built-in distributed tracing for microservice workloads.
+
+SNMS ships with jaeger, so the paper bypasses Rhythm's request tracer for
+it (§5.3.2): the application itself records per-microservice sojourn
+times. :class:`JaegerTracer` models that shortcut — it reads sojourns
+directly off :class:`~repro.workloads.request.RequestRecord` executions
+instead of reconstructing them from kernel events.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List
+
+from repro.errors import TracingError
+from repro.tracing.sojourn import SojournStats
+from repro.workloads.request import RequestRecord
+
+
+class JaegerTracer:
+    """Application-level tracer: exact per-request spans, no kernel events."""
+
+    def __init__(self) -> None:
+        self._sojourns: Dict[str, List[float]] = defaultdict(list)
+        self._e2e: List[float] = []
+
+    def record(self, records: Iterable[RequestRecord]) -> int:
+        """Ingest request executions; returns how many were recorded."""
+        n = 0
+        for record in records:
+            for pod, sojourn in record.sojourn_by_servpod().items():
+                self._sojourns[pod].append(sojourn)
+            self._e2e.append(record.e2e_ms)
+            n += 1
+        return n
+
+    def reset(self) -> None:
+        """Drop all recorded spans."""
+        self._sojourns.clear()
+        self._e2e.clear()
+
+    def per_request(self) -> Dict[str, List[float]]:
+        """Per-Servpod sojourn samples recorded so far."""
+        if not self._sojourns:
+            raise TracingError("jaeger tracer has recorded no requests")
+        return {pod: list(values) for pod, values in self._sojourns.items()}
+
+    def e2e_latencies(self) -> List[float]:
+        """End-to-end latencies recorded so far."""
+        return list(self._e2e)
+
+    def stats(self) -> Dict[str, SojournStats]:
+        """Mean/std/CoV summary per Servpod."""
+        import math
+
+        out = {}
+        for pod, values in self.per_request().items():
+            n = len(values)
+            mean = sum(values) / n
+            var = sum((v - mean) ** 2 for v in values) / (n - 1) if n > 1 else 0.0
+            out[pod] = SojournStats(
+                servpod=pod, n_requests=n, mean_ms=mean, std_ms=math.sqrt(var)
+            )
+        return out

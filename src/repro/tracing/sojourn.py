@@ -1,0 +1,100 @@
+"""Sojourn-time extraction from matched event streams.
+
+Two extraction modes, mirroring §3.3:
+
+- :meth:`SojournExtractor.per_request` — exact per-request sojourns via
+  full CPG reconstruction (blocking servers, ephemeral connections). The
+  offline profiler uses this: it controls the solo-run stress test, so it
+  can arrange instrumentation-friendly conditions.
+- :meth:`SojournExtractor.mean_only` — aggregate mean sojourns that stay
+  *exact even when RECV/SEND pairing is scrambled* by non-blocking
+  threads or persistent connections, because FIFO pairing preserves the
+  sum of spans (the paper's Figure-5 argument: ``Σ(S_k − R_k)`` is
+  invariant under permutations of equal-cardinality matchings).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.errors import TracingError
+from repro.tracing.causality import CausalityMatcher
+from repro.tracing.cpg import CausalPathGraph
+from repro.tracing.events import SysEvent
+
+
+@dataclass(frozen=True)
+class SojournStats:
+    """Summary of one Servpod's sojourn times at one load level."""
+
+    servpod: str
+    n_requests: int
+    mean_ms: float
+    #: Standard deviation across requests (0 when only means are known).
+    std_ms: float
+
+    @property
+    def cov(self) -> float:
+        """Coefficient of variation across requests."""
+        return self.std_ms / self.mean_ms if self.mean_ms > 0 else 0.0
+
+
+class SojournExtractor:
+    """Turns an event stream into per-Servpod sojourn statistics."""
+
+    def __init__(self, matcher: CausalityMatcher) -> None:
+        self.matcher = matcher
+
+    def per_request(self, events: Iterable[SysEvent]) -> Dict[str, List[float]]:
+        """Exact per-request sojourn lists per Servpod (blocking traces)."""
+        cpg = CausalPathGraph(self.matcher)
+        paths = cpg.reconstruct_requests(list(events))
+        if not paths:
+            raise TracingError("no requests could be reconstructed from the trace")
+        out: Dict[str, List[float]] = defaultdict(list)
+        for path in paths:
+            for pod, sojourn in path.sojourns.items():
+                out[pod].append(sojourn)
+        return dict(out)
+
+    def e2e_latencies(self, events: Iterable[SysEvent]) -> List[float]:
+        """Client-observed end-to-end latencies (ms)."""
+        return self.matcher.client_latencies(self.matcher.filter(list(events)))
+
+    def mean_only(self, events: Iterable[SysEvent]) -> Dict[str, SojournStats]:
+        """Mismatch-proof mean sojourns: (ΣSEND − ΣRECV) / #visits.
+
+        ``std_ms`` is reported as 0 because individual spans are not
+        trustworthy under scrambled pairings — only their sum is.
+        """
+        clean = self.matcher.filter(list(events))
+        segments = self.matcher.intra_segments(clean)
+        visits = self.matcher.entry_recv_count(clean)
+        span_sum: Dict[str, float] = defaultdict(float)
+        for seg in segments:
+            span_sum[seg.servpod] += seg.span_ms
+        stats = {}
+        for pod, total in span_sum.items():
+            n = visits.get(pod, 0)
+            if n == 0:
+                raise TracingError(f"segments matched at {pod!r} but no entry RECVs")
+            stats[pod] = SojournStats(
+                servpod=pod, n_requests=n, mean_ms=total / n, std_ms=0.0
+            )
+        return stats
+
+    def stats(self, events: Iterable[SysEvent]) -> Dict[str, SojournStats]:
+        """Full per-request statistics (mean, std, CoV) per Servpod."""
+        per_request = self.per_request(events)
+        out = {}
+        for pod, values in per_request.items():
+            n = len(values)
+            mean = sum(values) / n
+            var = sum((v - mean) ** 2 for v in values) / (n - 1) if n > 1 else 0.0
+            out[pod] = SojournStats(
+                servpod=pod, n_requests=n, mean_ms=mean, std_ms=math.sqrt(var)
+            )
+        return out

@@ -1,0 +1,176 @@
+"""SNMS — the social-network microservice benchmark (DeathStarBench).
+
+The paper's §5.3.2 evaluates Rhythm on SNMS, an LC service of 30 unique
+microservices communicating over RPC, divided into three Servpods:
+
+- ``frontend`` — 3 microservices (nginx-thrift, media-frontend, jaeger),
+- ``userservice`` — 14 microservices for user operations,
+- ``mediaservice`` — 13 microservices for media processing.
+
+Each Servpod gets 20 cores and 64 GB (paper §5.3.2). SNMS ships its own
+distributed tracer (jaeger), so Rhythm's request tracer is bypassed and
+sojourn times come from :class:`repro.tracing.jaeger.JaegerTracer`.
+
+Sensitivities and growth shapes are set so the derived contributions
+order as in the paper: userservice (0.565) > mediaservice (0.295) >
+frontend (0.14).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.interference.sensitivity import SensitivityVector
+from repro.workloads.catalog import calibrate_to_sla
+from repro.workloads.spec import (
+    CallNode,
+    ComponentSpec,
+    RequestType,
+    ServiceSpec,
+    ServpodSpec,
+    chain,
+)
+
+#: (name, base_ms, sigma0) for the 3 frontend microservices.
+_FRONTEND = (
+    ("nginx-thrift", 4.0, 0.18),
+    ("media-frontend", 2.5, 0.16),
+    ("jaeger", 0.8, 0.12),
+)
+
+#: (name, base_ms, sigma0) for the 14 user-operation microservices.
+_USERSERVICE = (
+    ("user-service", 6.0, 0.30),
+    ("social-graph-service", 8.0, 0.34),
+    ("user-timeline-service", 9.0, 0.36),
+    ("home-timeline-service", 10.0, 0.38),
+    ("compose-post-service", 7.0, 0.32),
+    ("post-storage-service", 11.0, 0.40),
+    ("user-mention-service", 3.0, 0.24),
+    ("url-shorten-service", 2.0, 0.22),
+    ("unique-id-service", 1.0, 0.18),
+    ("text-service", 3.5, 0.26),
+    ("user-memcached", 1.5, 0.20),
+    ("user-mongodb", 12.0, 0.42),
+    ("social-graph-redis", 2.0, 0.24),
+    ("social-graph-mongodb", 10.0, 0.40),
+)
+
+#: (name, base_ms, sigma0) for the 13 media-processing microservices.
+_MEDIASERVICE = (
+    ("media-service", 5.0, 0.26),
+    ("media-filter-service", 6.0, 0.28),
+    ("image-resize-service", 8.0, 0.30),
+    ("video-transcode-service", 12.0, 0.34),
+    ("media-memcached", 1.5, 0.18),
+    ("media-mongodb", 9.0, 0.32),
+    ("thumbnail-service", 4.0, 0.24),
+    ("media-metadata-service", 3.0, 0.22),
+    ("cdn-cache-service", 2.0, 0.20),
+    ("media-storage-service", 7.0, 0.30),
+    ("watermark-service", 3.5, 0.22),
+    ("media-encoder", 6.5, 0.28),
+    ("media-frontend-cache", 1.2, 0.16),
+)
+
+
+def _components(
+    table: Tuple[Tuple[str, float, float], ...],
+    sensitivity: SensitivityVector,
+    cov_knee: float,
+    sigma_growth: float,
+    sat_growth: float,
+    cores_total: int,
+    membw_peak: float,
+    net_peak: float,
+    llc_total: float,
+) -> Tuple[ComponentSpec, ...]:
+    """Expand a (name, base, sigma) table into ComponentSpecs.
+
+    Per-Servpod resource budgets are split evenly over the member
+    microservices; latency-shape parameters are shared within a Servpod
+    (they are Servpod-level properties in the paper's analysis).
+    """
+    n = len(table)
+    cores_each = max(1, round(cores_total / n))
+    return tuple(
+        ComponentSpec(
+            name=name,
+            base_ms=base_ms,
+            sigma0=sigma0,
+            lin_growth=0.5,
+            sat_growth=sat_growth,
+            sigma_growth=1.5,
+            cov_knee=cov_knee,
+            sensitivity=sensitivity,
+            cores=cores_each,
+            peak_core_util=0.6,
+            peak_membw_fraction=membw_peak / n,
+            peak_net_gbps=net_peak / n,
+            llc_fraction=llc_total / n,
+        )
+        for name, base_ms, sigma0 in table
+    )
+
+
+def snms_service(calibrated: bool = True) -> ServiceSpec:
+    """Build the SNMS microservice benchmark spec (Table 1, last row)."""
+    frontend_sens = SensitivityVector(cpu=0.15, llc=0.25, membw=0.35, net=0.80, freq=0.60)
+    user_sens = SensitivityVector(cpu=0.50, llc=1.60, membw=2.10, net=0.70, freq=0.80)
+    media_sens = SensitivityVector(cpu=0.60, llc=0.90, membw=1.20, net=0.60, freq=1.00)
+
+    frontend = ServpodSpec(
+        "frontend",
+        _components(
+            _FRONTEND, frontend_sens,
+            cov_knee=0.85, sigma_growth=2.5, sat_growth=0.10,
+            cores_total=20, membw_peak=0.10, net_peak=3.0, llc_total=0.15,
+        ),
+        llc_ways=8,
+        memory_gb=64.0,
+    )
+    userservice = ServpodSpec(
+        "userservice",
+        _components(
+            _USERSERVICE, user_sens,
+            cov_knee=0.67, sigma_growth=2.0, sat_growth=0.60,
+            cores_total=20, membw_peak=0.30, net_peak=1.5, llc_total=0.45,
+        ),
+        llc_ways=10,
+        memory_gb=64.0,
+    )
+    mediaservice = ServpodSpec(
+        "mediaservice",
+        _components(
+            _MEDIASERVICE, media_sens,
+            cov_knee=0.75, sigma_growth=2.0, sat_growth=0.30,
+            cores_total=20, membw_peak=0.22, net_peak=1.2, llc_total=0.30,
+        ),
+        llc_ways=10,
+        memory_gb=64.0,
+    )
+    spec = ServiceSpec(
+        name="SNMS",
+        domain="Microservice (DeathStarBench social network)",
+        servpods=(userservice, frontend, mediaservice),
+        request_types=(
+            RequestType(
+                name="compose-post",
+                weight=0.4,
+                root=CallNode(
+                    servpod="frontend",
+                    children=(CallNode("userservice"), CallNode("mediaservice")),
+                    parallel=True,
+                ),
+            ),
+            RequestType(
+                name="read-timeline",
+                weight=0.6,
+                root=chain("frontend", "userservice"),
+            ),
+        ),
+        max_load_qps=1500.0,
+        sla_ms=380.0,
+        containers=30,
+    )
+    return calibrate_to_sla(spec) if calibrated else spec

@@ -1,0 +1,180 @@
+"""Request-level queueing simulation — cross-validation of the latency model.
+
+The analytic sojourn model (:mod:`repro.workloads.latency`) *postulates*
+a convex load curve and a variance knee. This module derives the same
+shapes from first principles: a multi-worker FIFO queue simulated
+request-by-request on the discrete-event engine. It exists to validate
+(and let users re-calibrate) the analytic model, and as the natural
+extension point for users who want full request-level dynamics instead
+of the fast analytic path.
+
+A :class:`QueueingComponent` is an G/G/c queue: Poisson arrivals,
+lognormal service times, ``c`` parallel workers. As the offered load
+approaches capacity, waiting time — and its variance — blows up, which
+is exactly the knee the analytic curves encode.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Engine
+from repro.sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class QueueingStats:
+    """Summary of one queueing run."""
+
+    offered_load: float          # lambda * E[S] / c
+    completed: int
+    mean_sojourn_ms: float
+    p99_sojourn_ms: float
+    cov: float
+    mean_wait_ms: float
+
+    @property
+    def mean_service_ms(self) -> float:
+        """Mean in-service time (sojourn minus queueing wait)."""
+        return self.mean_sojourn_ms - self.mean_wait_ms
+
+
+class QueueingComponent:
+    """A G/G/c FIFO queue driven by the discrete-event engine.
+
+    Parameters
+    ----------
+    service_ms:
+        Median service time of one request (lognormal).
+    service_sigma:
+        Lognormal sigma of the service time.
+    workers:
+        Parallel workers (threads) of the component.
+    """
+
+    def __init__(
+        self,
+        service_ms: float,
+        service_sigma: float = 0.3,
+        workers: int = 8,
+    ) -> None:
+        if service_ms <= 0 or service_sigma <= 0 or workers <= 0:
+            raise ConfigurationError(
+                f"invalid queue parameters service_ms={service_ms} "
+                f"sigma={service_sigma} workers={workers}"
+            )
+        self.service_ms = float(service_ms)
+        self.service_sigma = float(service_sigma)
+        self.workers = int(workers)
+
+    @property
+    def capacity_qps(self) -> float:
+        """Saturation throughput: workers / E[service]."""
+        mean_service_s = (
+            self.service_ms * math.exp(self.service_sigma**2 / 2) / 1000.0
+        )
+        return self.workers / mean_service_s
+
+    def simulate(
+        self,
+        arrival_qps: float,
+        duration_s: float,
+        streams: Optional[RandomStreams] = None,
+        warmup_s: float = 2.0,
+    ) -> QueueingStats:
+        """Simulate ``duration_s`` seconds of Poisson arrivals.
+
+        Requests arriving during the warm-up period are served but not
+        counted, so the statistics reflect (near-)steady state.
+        """
+        if arrival_qps <= 0 or duration_s <= 0:
+            raise ConfigurationError(
+                f"need positive rate/duration, got {arrival_qps}/{duration_s}"
+            )
+        streams = streams or RandomStreams(0)
+        arrival_rng = streams.stream("queue:arrivals")
+        service_rng = streams.stream("queue:service")
+        engine = Engine()
+
+        busy = [0]                    # busy workers
+        queue: List[tuple] = []       # (arrival time, service time)
+        sojourns: List[float] = []
+        waits: List[float] = []
+
+        def start_service(t: float, arrived: float, service_s: float) -> None:
+            busy[0] += 1
+
+            def finish(t_done: float) -> None:
+                busy[0] -= 1
+                if arrived >= warmup_s:
+                    sojourns.append((t_done - arrived) * 1000.0)
+                    waits.append((t_done - arrived - service_s) * 1000.0)
+                if queue:
+                    q_arrived, q_service = queue.pop(0)
+                    start_service(t_done, q_arrived, q_service)
+
+            engine.after(service_s, finish)
+
+        def arrive(t: float) -> None:
+            service_s = float(
+                service_rng.lognormal(
+                    math.log(self.service_ms / 1000.0), self.service_sigma
+                )
+            )
+            if busy[0] < self.workers:
+                start_service(t, t, service_s)
+            else:
+                queue.append((t, service_s))
+            gap = float(arrival_rng.exponential(1.0 / arrival_qps))
+            if t + gap <= duration_s:
+                engine.at(t + gap, arrive)
+
+        engine.at(float(arrival_rng.exponential(1.0 / arrival_qps)), arrive)
+        engine.run(until=duration_s + 60.0)  # drain in-flight requests
+
+        if not sojourns:
+            raise ConfigurationError(
+                "no requests completed after warm-up; extend the duration"
+            )
+        arr = np.asarray(sojourns)
+        mean = float(arr.mean())
+        return QueueingStats(
+            offered_load=arrival_qps / self.capacity_qps,
+            completed=len(sojourns),
+            mean_sojourn_ms=mean,
+            p99_sojourn_ms=float(np.percentile(arr, 99.0)),
+            cov=float(arr.std(ddof=1) / mean) if len(arr) > 1 else 0.0,
+            mean_wait_ms=float(np.mean(waits)),
+        )
+
+
+def load_latency_curve(
+    component: QueueingComponent,
+    loads: List[float],
+    duration_s: float = 60.0,
+    seed: int = 0,
+) -> List[QueueingStats]:
+    """Sweep offered load (fractions of capacity) and collect statistics.
+
+    This is the queueing-theoretic counterpart of the analytic model's
+    ``median(u)`` / ``sigma(u)`` curves; tests assert the two agree in
+    shape (both convex in load, variance rising toward saturation).
+    """
+    stats = []
+    for i, load in enumerate(loads):
+        if not (0.0 < load < 1.0):
+            raise ConfigurationError(
+                f"offered load must be in (0,1) for a stable queue, got {load}"
+            )
+        qps = load * component.capacity_qps
+        stats.append(
+            component.simulate(
+                qps, duration_s, RandomStreams(seed).spawn(f"load-{i}")
+            )
+        )
+    return stats

@@ -1,0 +1,156 @@
+"""Request execution records.
+
+:func:`build_execution` expands a call tree plus per-visit sojourn times
+into a timestamped :class:`RequestRecord` — which Servpod processed the
+request when, including the local-processing intervals before and after
+downstream calls. The request tracer consumes these records to generate
+system events; the contribution analyzer never sees them directly (it
+works from reconstructed events only, like the real system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.workloads.spec import CallNode
+
+#: One-way network transit between neighbouring Servpods, in ms. Small but
+#: non-zero so inter-Servpod event timestamps are strictly ordered.
+DEFAULT_HOP_MS = 0.02
+
+
+@dataclass
+class SojournSegment:
+    """One visit of a request to a Servpod.
+
+    ``arrive``/``depart`` are the Servpod-edge timestamps (ms since the
+    request entered the service); ``local_intervals`` are the periods the
+    request was actually being processed locally (excludes time waiting
+    for downstream replies). The visit's sojourn time — what the paper
+    measures — is the total length of the local intervals.
+
+    ``seg_id`` uniquely identifies the visit within its request;
+    ``parent_seg`` is the seg_id of the calling visit (-1 when called
+    directly by the client). The trace emitter uses this linkage to lay
+    caller/callee SEND/RECV events on the right endpoints.
+    """
+
+    servpod: str
+    arrive: float
+    depart: float
+    local_intervals: List[Tuple[float, float]] = field(default_factory=list)
+    seg_id: int = -1
+    parent_seg: int = -1
+
+    @property
+    def sojourn_ms(self) -> float:
+        """Total local processing time of this visit."""
+        return sum(end - start for start, end in self.local_intervals)
+
+
+@dataclass
+class RequestRecord:
+    """A fully timestamped request execution."""
+
+    request_id: int
+    t_start: float
+    e2e_ms: float
+    segments: List[SojournSegment] = field(default_factory=list)
+
+    def sojourn_by_servpod(self) -> dict:
+        """Total sojourn per Servpod (summing revisits), in ms."""
+        out: dict = {}
+        for seg in self.segments:
+            out[seg.servpod] = out.get(seg.servpod, 0.0) + seg.sojourn_ms
+        return out
+
+
+def build_execution(
+    root: CallNode,
+    sojourn_of: Callable[[str], float],
+    request_id: int = 0,
+    t_start: float = 0.0,
+    split: float = 0.5,
+    hop_ms: float = DEFAULT_HOP_MS,
+) -> RequestRecord:
+    """Expand a call tree into a timestamped :class:`RequestRecord`.
+
+    Parameters
+    ----------
+    root:
+        The request's call tree.
+    sojourn_of:
+        Called once per tree node visit with the Servpod name; must return
+        that visit's local sojourn time in ms.
+    split:
+        Fraction of a node's sojourn spent *before* its downstream calls
+        (the rest is spent after the last reply arrives).
+    hop_ms:
+        One-way network transit between Servpods.
+    """
+    if not (0.0 <= split <= 1.0):
+        raise ConfigurationError(f"split must be in [0,1], got {split!r}")
+    if hop_ms < 0:
+        raise ConfigurationError(f"hop_ms must be >= 0, got {hop_ms!r}")
+    record = RequestRecord(request_id=request_id, t_start=t_start, e2e_ms=0.0)
+    counter = [0]
+    finish = _walk(root, 0.0, sojourn_of, split, hop_ms, record, counter, parent_seg=-1)
+    record.e2e_ms = finish
+    record.segments.sort(key=lambda seg: seg.arrive)
+    return record
+
+
+def _walk(
+    node: CallNode,
+    t_arrive: float,
+    sojourn_of: Callable[[str], float],
+    split: float,
+    hop_ms: float,
+    record: RequestRecord,
+    counter: List[int],
+    parent_seg: int,
+) -> float:
+    """Recursively lay out one node's visit; returns its reply time (ms)."""
+    sojourn = float(sojourn_of(node.servpod))
+    if sojourn < 0:
+        raise ConfigurationError(
+            f"negative sojourn {sojourn} for Servpod {node.servpod!r}"
+        )
+    seg_id = counter[0]
+    counter[0] += 1
+    if node.children:
+        pre = split * sojourn
+        post = sojourn - pre
+        t_calls = t_arrive + pre
+        if node.parallel:
+            child_done = max(
+                _walk(child, t_calls + hop_ms, sojourn_of, split, hop_ms,
+                      record, counter, seg_id) + hop_ms
+                for child in node.children
+            )
+        else:
+            cursor = t_calls
+            for child in node.children:
+                cursor = _walk(child, cursor + hop_ms, sojourn_of, split, hop_ms,
+                               record, counter, seg_id) + hop_ms
+            child_done = cursor
+        depart = child_done + post
+        intervals = [(t_arrive, t_arrive + pre)]
+        if post > 0:
+            intervals.append((child_done, depart))
+    else:
+        depart = t_arrive + sojourn
+        intervals = [(t_arrive, depart)]
+    record.segments.append(
+        SojournSegment(
+            servpod=node.servpod,
+            arrive=t_arrive,
+            depart=depart,
+            local_intervals=intervals,
+            seg_id=seg_id,
+            parent_seg=parent_seg,
+        )
+    )
+    return depart

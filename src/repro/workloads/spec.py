@@ -1,0 +1,236 @@
+"""Specifications for LC components, Servpods, services and call trees.
+
+The structure mirrors §3.1 of the paper: an LC workload is a DAG of
+components; components scheduled onto the same machine form a Servpod;
+the number of Servpods equals the number of machines the service uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.interference.sensitivity import SensitivityVector
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One LC service component (a process/container, e.g. ``mysql``).
+
+    Latency model parameters (all times in milliseconds)
+    ----------------------------------------------------
+    The solo-run median sojourn time at load ``u`` (fraction of MaxLoad) is::
+
+        median(u) = base_ms * (1 + lin_growth * u + sat_growth * u**sat_power / (1.25 - u))
+
+    and the lognormal sigma follows a knee curve::
+
+        ramp(u)  = max(0, (u - cov_knee) / (1 - cov_knee))
+        sigma(u) = sigma0 * (1 + sigma_growth * ramp(u)**2)
+
+    ``lin_growth`` covers gentle queueing below the knee; the saturating
+    term produces the sharp rise near MaxLoad visible in Figure 6a. The
+    sigma knee reproduces Figure 8's CoV-vs-load shape — flat fluctuation
+    until ``cov_knee`` and a steep rise after — which places the derived
+    loadlimit (first CoV point above the sweep average) at approximately
+    ``cov_knee + (1 - cov_knee)**1.5 / sqrt(3)`` for a uniform load grid.
+
+    Resource-usage parameters (solo run, as a function of load)
+    -----------------------------------------------------------
+    ``cores`` is the container's core reservation; ``peak_core_util``,
+    ``peak_membw_fraction``, ``peak_net_gbps`` and ``llc_fraction`` give
+    the component's machine-level resource usage at 100% load (scaled
+    linearly with load at runtime).
+    """
+
+    name: str
+    base_ms: float
+    sigma0: float = 0.25
+    lin_growth: float = 0.5
+    sat_growth: float = 0.15
+    sat_power: float = 2.0
+    sigma_growth: float = 2.0
+    cov_knee: float = 0.6
+    sensitivity: SensitivityVector = field(default_factory=SensitivityVector)
+    cores: int = 8
+    peak_core_util: float = 0.6
+    peak_membw_fraction: float = 0.15
+    peak_net_gbps: float = 1.0
+    llc_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.base_ms <= 0:
+            raise ConfigurationError(f"{self.name}: base_ms must be > 0")
+        if self.sigma0 <= 0:
+            raise ConfigurationError(f"{self.name}: sigma0 must be > 0")
+        if self.cores <= 0:
+            raise ConfigurationError(f"{self.name}: cores must be > 0")
+        for attr in ("lin_growth", "sat_growth", "sigma_growth"):
+            if getattr(self, attr) < 0:
+                raise ConfigurationError(f"{self.name}: {attr} must be >= 0")
+        if not (0.0 <= self.cov_knee < 1.0):
+            raise ConfigurationError(f"{self.name}: cov_knee must be in [0,1)")
+        if not (0 <= self.peak_core_util <= 1) or not (0 <= self.peak_membw_fraction <= 1):
+            raise ConfigurationError(f"{self.name}: utilisation peaks must be in [0,1]")
+
+
+@dataclass(frozen=True)
+class ServpodSpec:
+    """Components of one service deployed together on one machine."""
+
+    name: str
+    components: Tuple[ComponentSpec, ...]
+    #: LLC ways reserved for the Servpod (CAT partition).
+    llc_ways: int = 10
+    #: Memory reserved for the Servpod in GiB.
+    memory_gb: float = 64.0
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ConfigurationError(f"Servpod {self.name!r} has no components")
+        names = [c.name for c in self.components]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"Servpod {self.name!r}: duplicate components")
+
+    @property
+    def cores(self) -> int:
+        """Total core reservation of the Servpod's containers."""
+        return sum(c.cores for c in self.components)
+
+    def component(self, name: str) -> ComponentSpec:
+        """Look up a member component by name."""
+        for comp in self.components:
+            if comp.name == name:
+                return comp
+        raise ConfigurationError(f"Servpod {self.name!r} has no component {name!r}")
+
+
+@dataclass(frozen=True)
+class CallNode:
+    """A node of a request call tree, resolved at Servpod granularity.
+
+    ``servpod`` is the Servpod handling this hop. Children are the
+    downstream synchronous calls it makes before replying; they execute
+    sequentially when ``parallel`` is ``False`` and concurrently (fan-out)
+    when ``True``. End-to-end latency is therefore::
+
+        t(node) = sojourn(node) + combine(t(child) for child in children)
+
+    with ``combine`` = sum (sequential) or max (parallel).
+    """
+
+    servpod: str
+    children: Tuple["CallNode", ...] = ()
+    parallel: bool = False
+
+    def servpods(self) -> List[str]:
+        """Every Servpod in this subtree, depth-first, with duplicates."""
+        out = [self.servpod]
+        for child in self.children:
+            out.extend(child.servpods())
+        return out
+
+
+def chain(*servpods: str) -> CallNode:
+    """A nested synchronous chain: ``chain('a','b','c')`` = a→b→c."""
+    if not servpods:
+        raise ConfigurationError("chain() needs at least one servpod")
+    node: Optional[CallNode] = None
+    for name in reversed(servpods):
+        node = CallNode(servpod=name, children=(node,) if node else ())
+    assert node is not None
+    return node
+
+
+def fanout(root: str, *branches: CallNode) -> CallNode:
+    """A parallel fan-out from ``root`` to each branch subtree."""
+    if not branches:
+        raise ConfigurationError("fanout() needs at least one branch")
+    return CallNode(servpod=root, children=tuple(branches), parallel=True)
+
+
+@dataclass(frozen=True)
+class RequestType:
+    """One request class: a call tree plus its traffic share."""
+
+    name: str
+    weight: float
+    root: CallNode
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigurationError(f"request type {self.name!r}: weight must be > 0")
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """A complete LC service (one row of Table 1).
+
+    Attributes
+    ----------
+    name / domain:
+        Identity and description.
+    servpods:
+        The service's Servpods (one machine each).
+    request_types:
+        Request classes with traffic weights; weights are normalized.
+    max_load_qps:
+        MaxLoad from Table 1 — the maximum allowable request rate.
+    sla_ms:
+        The 99th-percentile latency target from Table 1.
+    containers:
+        Container count from Table 1 (informational).
+    tail_percentile:
+        Which percentile the SLA refers to (99 by default).
+    """
+
+    name: str
+    domain: str
+    servpods: Tuple[ServpodSpec, ...]
+    request_types: Tuple[RequestType, ...]
+    max_load_qps: float
+    sla_ms: float
+    containers: int = 0
+    tail_percentile: float = 99.0
+
+    def __post_init__(self) -> None:
+        if not self.servpods:
+            raise ConfigurationError(f"service {self.name!r} has no Servpods")
+        if not self.request_types:
+            raise ConfigurationError(f"service {self.name!r} has no request types")
+        if self.max_load_qps <= 0 or self.sla_ms <= 0:
+            raise ConfigurationError(
+                f"service {self.name!r}: MaxLoad and SLA must be positive"
+            )
+        if not (50.0 <= self.tail_percentile < 100.0):
+            raise ConfigurationError(
+                f"service {self.name!r}: tail percentile {self.tail_percentile}"
+            )
+        pod_names = {pod.name for pod in self.servpods}
+        if len(pod_names) != len(self.servpods):
+            raise ConfigurationError(f"service {self.name!r}: duplicate Servpods")
+        for rtype in self.request_types:
+            for pod in rtype.root.servpods():
+                if pod not in pod_names:
+                    raise ConfigurationError(
+                        f"service {self.name!r}: request {rtype.name!r} visits "
+                        f"unknown Servpod {pod!r}"
+                    )
+
+    @property
+    def servpod_names(self) -> List[str]:
+        """Servpod names in declaration order."""
+        return [pod.name for pod in self.servpods]
+
+    def servpod(self, name: str) -> ServpodSpec:
+        """Look up a Servpod by name."""
+        for pod in self.servpods:
+            if pod.name == name:
+                return pod
+        raise ConfigurationError(f"service {self.name!r} has no Servpod {name!r}")
+
+    def normalized_weights(self) -> Dict[str, float]:
+        """Request-type weights normalized to sum to 1."""
+        total = sum(rt.weight for rt in self.request_types)
+        return {rt.name: rt.weight / total for rt in self.request_types}

@@ -1,0 +1,55 @@
+"""Tests for the Heracles and LC-solo baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.heracles import HeraclesPolicy, heracles_controllers
+from repro.baselines.static import LcSoloPolicy
+from repro.core.actions import BeAction
+
+from conftest import make_tiny_service
+
+
+class TestHeracles:
+    def test_uniform_thresholds(self):
+        spec = make_tiny_service()
+        controllers = heracles_controllers(spec)
+        assert set(controllers) == set(spec.servpod_names)
+        for ctrl in controllers.values():
+            assert ctrl.thresholds.loadlimit == 0.85
+            assert ctrl.thresholds.slacklimit == 0.10
+
+    def test_disables_at_85_percent(self):
+        """Paper §5.2.1: no Heracles co-location at the 85% grid point."""
+        controllers = heracles_controllers(make_tiny_service())
+        for ctrl in controllers.values():
+            assert ctrl.decide(load=0.85, tail_ms=1.0) == BeAction.SUSPEND_BE
+
+    def test_allows_below_slack_gate(self):
+        ctrl = heracles_controllers(make_tiny_service())["back"]
+        # slack 0.5 > 0.10 -> grow
+        assert ctrl.decide(load=0.5, tail_ms=50.0) == BeAction.ALLOW_BE_GROWTH
+        # slack 0.07 in (0.05, 0.10) -> disallow growth
+        assert ctrl.decide(load=0.5, tail_ms=93.0) == BeAction.DISALLOW_BE_GROWTH
+        # slack 0.03 < 0.05 -> cut
+        assert ctrl.decide(load=0.5, tail_ms=97.0) == BeAction.CUT_BE
+
+    def test_custom_policy(self):
+        controllers = heracles_controllers(
+            make_tiny_service(), HeraclesPolicy(loadlimit=0.7, slacklimit=0.2)
+        )
+        assert controllers["front"].thresholds.loadlimit == 0.7
+
+
+class TestLcSolo:
+    def test_never_colocates(self):
+        controllers = LcSoloPolicy().controllers(make_tiny_service())
+        for ctrl in controllers.values():
+            for load, tail in ((0.1, 1.0), (0.9, 1.0), (0.5, 200.0)):
+                assert ctrl.decide(load, tail) == BeAction.STOP_BE
+
+    def test_history_still_recorded(self):
+        ctrl = LcSoloPolicy().controllers(make_tiny_service())["front"]
+        ctrl.decide(0.5, 1.0, t=2.0)
+        assert ctrl.history == [(2.0, BeAction.STOP_BE)]

@@ -1,0 +1,206 @@
+"""Tests for BE job specs, runtime state and the throughput model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bejobs.catalog import (
+    BE_CATALOG,
+    CPU_STRESS,
+    IPERF,
+    STREAM_DRAM,
+    STREAM_DRAM_SMALL,
+    STREAM_LLC,
+    STREAM_LLC_SMALL,
+    be_job_spec,
+    evaluation_be_jobs,
+)
+from repro.bejobs.job import BeJob, BeJobState, LcUsage, compute_be_rates
+from repro.bejobs.spec import BeIntensity, BeJobSpec
+from repro.cluster.machine import BE_DOMAIN, Machine, MachineSpec
+from repro.errors import ConfigurationError, ControlError
+
+
+class TestBeJobSpec:
+    def test_cpu_usage_required(self):
+        with pytest.raises(ConfigurationError):
+            BeJobSpec(name="x", domain="d", intensity=BeIntensity.CPU, solo_usage={})
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BeJobSpec(
+                name="x", domain="d", intensity=BeIntensity.CPU,
+                solo_usage={"cpu": 1.0, "gpu": 0.5},
+            )
+
+    def test_usage_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BeJobSpec(
+                name="x", domain="d", intensity=BeIntensity.CPU,
+                solo_usage={"cpu": 1.5},
+            )
+
+    def test_demand_ramps_to_saturation(self):
+        spec = STREAM_DRAM
+        low = spec.demand_fraction("membw", 4, 40)
+        full = spec.demand_fraction("membw", spec.saturation_cores, 40)
+        beyond = spec.demand_fraction("membw", spec.saturation_cores * 2, 40)
+        assert low < full
+        assert full == pytest.approx(spec.usage("membw"))
+        assert beyond == pytest.approx(full)
+
+    def test_cpu_demand_is_core_fraction(self):
+        assert CPU_STRESS.demand_fraction("cpu", 10, 40) == pytest.approx(0.25)
+
+    def test_zero_cores_zero_demand(self):
+        assert STREAM_LLC.demand_fraction("llc", 0, 40) == 0.0
+
+
+class TestCatalog:
+    def test_table1_jobs_present(self):
+        for name in ("CPU-stress", "stream-llc", "stream-dram", "iperf",
+                     "wordcount", "imageClassify", "LSTM"):
+            assert name in BE_CATALOG
+
+    def test_big_exceeds_small(self):
+        assert STREAM_LLC.usage("llc") > STREAM_LLC_SMALL.usage("llc")
+        assert STREAM_DRAM.usage("membw") > STREAM_DRAM_SMALL.usage("membw")
+
+    def test_small_occupies_half(self):
+        assert STREAM_LLC_SMALL.usage("llc") == pytest.approx(0.5)
+        assert STREAM_DRAM_SMALL.usage("membw") == pytest.approx(0.5)
+
+    def test_intensities_match_table1(self):
+        assert CPU_STRESS.intensity == BeIntensity.CPU
+        assert STREAM_LLC.intensity == BeIntensity.LLC
+        assert STREAM_DRAM.intensity == BeIntensity.DRAM
+        assert IPERF.intensity == BeIntensity.NETWORK
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            be_job_spec("fortnite")
+
+    def test_evaluation_set_has_six(self):
+        jobs = evaluation_be_jobs()
+        assert len(jobs) == 6
+        assert not any("small" in j.name for j in jobs)
+
+
+class TestBeJobLifecycle:
+    def test_start_and_advance(self):
+        job = BeJob("j", CPU_STRESS)
+        job.start("m0")
+        job.advance(10.0, 0.5)
+        assert job.normalized_work == pytest.approx(5.0)
+        assert job.running_seconds == pytest.approx(10.0)
+
+    def test_suspend_blocks_progress(self):
+        job = BeJob("j", CPU_STRESS)
+        job.start("m0")
+        job.suspend()
+        job.advance(10.0, 0.5)
+        assert job.normalized_work == 0.0
+        job.resume()
+        job.advance(10.0, 0.5)
+        assert job.normalized_work == pytest.approx(5.0)
+
+    def test_kill_loses_inflight_unit(self):
+        job = BeJob("j", CPU_STRESS)  # unit_seconds = 10
+        job.start("m0")
+        job.advance(25.0, 1.0)  # 2 complete units + 5s in-flight
+        job.kill()
+        assert job.normalized_work == pytest.approx(20.0)
+        assert job.units_completed == pytest.approx(2.0)
+
+    def test_killed_job_cannot_restart(self):
+        job = BeJob("j", CPU_STRESS)
+        job.kill()
+        with pytest.raises(ControlError):
+            job.start("m0")
+
+    def test_negative_progress_rejected(self):
+        job = BeJob("j", CPU_STRESS)
+        job.start("m0")
+        with pytest.raises(ControlError):
+            job.advance(-1.0, 0.5)
+
+
+class TestComputeBeRates:
+    def _machine_with_jobs(self, spec, n):
+        machine = Machine(MachineSpec(name="m0"))
+        machine.reserve_lc(cores=12, llc_ways=10, memory_gb=64.0)
+        jobs = []
+        for i in range(n):
+            job = BeJob(f"j{i}", spec)
+            machine.launch_be(job.job_id)
+            job.start("m0")
+            jobs.append(job)
+        return machine, jobs
+
+    def test_no_jobs_zero_snapshot(self):
+        machine = Machine()
+        snap = compute_be_rates(machine, [], LcUsage())
+        assert snap.total_rate == 0.0
+        assert snap.busy_cores == 0.0
+
+    def test_suspended_jobs_do_not_run(self):
+        machine, jobs = self._machine_with_jobs(CPU_STRESS, 2)
+        machine.suspend_be(jobs[0].job_id)
+        jobs[0].suspend()
+        snap = compute_be_rates(machine, jobs, LcUsage())
+        assert jobs[0].job_id not in snap.rates
+        assert jobs[1].job_id in snap.rates
+
+    def test_cpu_job_rate_proportional_to_cores(self):
+        machine, jobs = self._machine_with_jobs(CPU_STRESS, 1)
+        r1 = compute_be_rates(machine, jobs, LcUsage()).rates[jobs[0].job_id]
+        for _ in range(3):
+            machine.grow_be(jobs[0].job_id)
+        r4 = compute_be_rates(machine, jobs, LcUsage()).rates[jobs[0].job_id]
+        assert r4 == pytest.approx(4 * r1, rel=0.01)
+
+    def test_rates_bounded_by_one(self):
+        machine, jobs = self._machine_with_jobs(STREAM_DRAM, 4)
+        snap = compute_be_rates(machine, jobs, LcUsage())
+        assert all(0.0 <= r <= 1.0 for r in snap.rates.values())
+
+    def test_lc_membw_usage_reduces_be_rates(self):
+        machine, jobs = self._machine_with_jobs(STREAM_DRAM, 8)
+        for job in jobs:
+            for _ in range(2):
+                machine.grow_be(job.job_id)
+        free = compute_be_rates(machine, jobs, LcUsage(membw_fraction=0.0))
+        tight = compute_be_rates(machine, jobs, LcUsage(membw_fraction=0.8))
+        assert tight.total_rate < free.total_rate
+
+    def test_nic_shaping_limits_network_jobs(self):
+        machine, jobs = self._machine_with_jobs(IPERF, 2)
+        for job in jobs:
+            machine.grow_be(job.job_id)
+        free = compute_be_rates(machine, jobs, LcUsage(net_gbps=0.0))
+        shaped = compute_be_rates(machine, jobs, LcUsage(net_gbps=8.0))
+        assert shaped.total_rate < free.total_rate
+
+    def test_dvfs_throttling_reduces_cpu_rate(self):
+        machine, jobs = self._machine_with_jobs(CPU_STRESS, 1)
+        full = compute_be_rates(machine, jobs, LcUsage()).total_rate
+        machine.dvfs.set_frequency(BE_DOMAIN, 1200)
+        throttled = compute_be_rates(machine, jobs, LcUsage()).total_rate
+        assert throttled == pytest.approx(full * 0.6, rel=0.01)
+
+    def test_busy_cores_counts_allocated(self):
+        machine, jobs = self._machine_with_jobs(CPU_STRESS, 3)
+        snap = compute_be_rates(machine, jobs, LcUsage())
+        assert snap.busy_cores == 3
+
+    def test_membw_demand_shared_proportionally(self):
+        machine, jobs = self._machine_with_jobs(STREAM_DRAM, 2)
+        for job in jobs:
+            for _ in range(7):
+                machine.grow_be(job.job_id)
+        snap = compute_be_rates(machine, jobs, LcUsage(membw_fraction=0.5))
+        # Headroom is 0.5; both jobs demand 8/16 = 0.5 each -> scaled to 0.25.
+        assert snap.membw_fraction == pytest.approx(0.5, abs=0.05)
+        r = list(snap.rates.values())
+        # Near-equal; small asymmetry comes from best-effort LLC ways.
+        assert r[0] == pytest.approx(r[1], rel=0.1)

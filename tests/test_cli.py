@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_profile_args(self):
+        args = build_parser().parse_args(["profile", "Redis", "--no-probe"])
+        assert args.service == "Redis"
+        assert args.no_probe is True
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare", "Redis", "stream-dram"])
+        assert args.load == 0.65
+        assert args.duration == 120.0
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E-commerce" in out
+        assert "SNMS" in out
+        assert "stream-dram" in out
+
+    def test_profile_without_probe(self, capsys):
+        assert main(["profile", "Redis", "--no-probe"]) == 0
+        out = capsys.readouterr().out
+        assert "master" in out and "slave" in out
+        assert "loadlimit" in out
+
+    def test_profile_unknown_service_fails_cleanly(self, capsys):
+        assert main(["profile", "Netflix", "--no-probe"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_compare_unknown_be_fails_cleanly(self, capsys):
+        assert main(["compare", "Redis", "fortnite"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace(self, capsys):
+        assert main(["trace", "Redis", "--requests", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel events" in out
+        assert "master" in out

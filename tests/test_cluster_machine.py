@@ -1,0 +1,161 @@
+"""Tests for the machine model and cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import BE_DOMAIN, Machine, MachineSpec
+from repro.errors import AllocationError, ConfigurationError
+
+
+@pytest.fixture
+def machine() -> Machine:
+    m = Machine(MachineSpec(name="m0"))
+    m.reserve_lc(cores=12, llc_ways=10, memory_gb=64.0)
+    return m
+
+
+class TestLcReservation:
+    def test_reservation_recorded(self, machine):
+        assert machine.lc_cores == 12
+        assert machine.lc_llc_ways == 10
+        assert machine.lc_memory_gb == 64.0
+
+    def test_double_reservation_rejected(self, machine):
+        with pytest.raises(ConfigurationError):
+            machine.reserve_lc(cores=1, llc_ways=1, memory_gb=1.0)
+
+    def test_oversized_memory_rejected(self):
+        m = Machine()
+        with pytest.raises(AllocationError):
+            m.reserve_lc(cores=1, llc_ways=1, memory_gb=10_000.0)
+
+
+class TestBeLifecycle:
+    def test_launch_gets_paper_initial_allocation(self, machine):
+        alloc = machine.launch_be("j1")
+        assert alloc.cores == 1
+        assert alloc.llc_ways == 2  # 10% of a 20-way cache
+        assert alloc.memory_gb == 2.0
+
+    def test_llc_is_best_effort_after_exhaustion(self, machine):
+        # LC holds 10 ways; 5 launches consume the remaining 10.
+        for i in range(5):
+            machine.launch_be(f"j{i}")
+        alloc = machine.launch_be("j5")  # no ways left, still launches
+        assert alloc.cores == 1
+        assert alloc.llc_ways == 0
+
+    def test_duplicate_launch_rejected(self, machine):
+        machine.launch_be("j1")
+        with pytest.raises(ConfigurationError):
+            machine.launch_be("j1")
+
+    def test_grow_and_shrink_symmetry(self, machine):
+        machine.launch_be("j1")
+        assert machine.grow_be("j1")
+        alloc = machine.be_allocation("j1")
+        assert alloc.cores == 2
+        assert machine.shrink_be("j1")
+        assert alloc.cores == 1
+
+    def test_shrink_stops_at_initial_footprint(self, machine):
+        machine.launch_be("j1")
+        assert not machine.shrink_be("j1")
+
+    def test_grow_fails_when_cores_exhausted(self, machine):
+        machine.launch_be("j1")
+        # 40 - 12 LC - 1 initial = 27 cores available for growth
+        for _ in range(27):
+            assert machine.grow_be("j1")
+        assert not machine.grow_be("j1")
+
+    def test_kill_releases_everything(self, machine):
+        machine.launch_be("j1")
+        machine.grow_be("j1")
+        free_before_kill = machine.cpuset.free_cores
+        machine.kill_be("j1")
+        assert machine.be_allocation("j1") is None
+        assert machine.cpuset.free_cores == free_before_kill + 2
+        assert machine.counters.be_kills == 1
+
+    def test_suspend_keeps_memory(self, machine):
+        machine.launch_be("j1")
+        machine.suspend_be("j1")
+        alloc = machine.be_allocation("j1")
+        assert alloc.suspended
+        assert alloc.memory_gb == 2.0
+        machine.resume_be("j1")
+        assert not alloc.suspended
+
+    def test_suspend_all_and_resume_all(self, machine):
+        for i in range(3):
+            machine.launch_be(f"j{i}")
+        assert machine.suspend_all_be() == 3
+        assert machine.be_running_count == 0
+        assert machine.resume_all_be() == 3
+        assert machine.be_running_count == 3
+
+    def test_kill_all(self, machine):
+        for i in range(3):
+            machine.launch_be(f"j{i}")
+        assert machine.kill_all_be() == 3
+        assert machine.be_instance_count == 0
+
+    def test_memory_steps(self, machine):
+        machine.launch_be("j1")
+        assert machine.grow_be_memory("j1")
+        assert machine.be_allocation("j1").memory_gb == pytest.approx(2.1)
+        assert machine.shrink_be_memory("j1")
+        assert machine.be_allocation("j1").memory_gb == pytest.approx(2.0)
+        assert not machine.shrink_be_memory("j1")  # never below initial
+
+    def test_unknown_job_rejected(self, machine):
+        with pytest.raises(ConfigurationError):
+            machine.grow_be("ghost")
+
+    def test_aggregate_accounting(self, machine):
+        machine.launch_be("j1")
+        machine.launch_be("j2")
+        machine.grow_be("j1")
+        assert machine.be_total_cores == 3
+        assert machine.be_instance_count == 2
+        assert machine.be_total_memory_gb == pytest.approx(4.0)
+
+    def test_power_uses_be_domain_frequency(self, machine):
+        machine.launch_be("j1")
+        full = machine.power_watts(lc_busy_cores=10, be_busy_cores=10)
+        machine.dvfs.set_frequency(BE_DOMAIN, 1200)
+        throttled = machine.power_watts(lc_busy_cores=10, be_busy_cores=10)
+        assert throttled < full
+
+
+class TestCluster:
+    def test_homogeneous_naming(self):
+        cluster = Cluster.homogeneous(3)
+        assert cluster.names() == ["node0", "node1", "node2"]
+        assert len(cluster) == 3
+
+    def test_lookup(self):
+        cluster = Cluster.homogeneous(2)
+        assert cluster["node1"].spec.name == "node1"
+        with pytest.raises(ConfigurationError):
+            cluster["nope"]
+
+    def test_duplicate_name_rejected(self):
+        cluster = Cluster.homogeneous(1)
+        with pytest.raises(ConfigurationError):
+            cluster.add(Machine(MachineSpec(name="node0")))
+
+    def test_aggregates(self):
+        cluster = Cluster.homogeneous(2)
+        cluster["node0"].launch_be("a")
+        cluster["node1"].launch_be("b")
+        assert cluster.total_be_instances == 2
+        cluster["node0"].kill_be("a")
+        assert cluster.total_be_kills == 1
+
+    def test_zero_machines_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cluster.homogeneous(0)

@@ -1,0 +1,161 @@
+"""Tests for the contribution analyzer (Equations 1-5)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.contribution import (
+    ContributionAnalyzer,
+    enumerate_paths,
+    pearson,
+)
+from repro.errors import ProfilingError
+from repro.workloads.spec import CallNode, chain, fanout
+
+from conftest import make_fanout_service, make_tiny_service
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_degenerate_is_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ProfilingError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_needs_two_points(self):
+        with pytest.raises(ProfilingError):
+            pearson([1], [1])
+
+
+class TestEnumeratePaths:
+    def test_chain_single_path(self):
+        assert enumerate_paths(chain("a", "b", "c")) == [("a", "b", "c")]
+
+    def test_fanout_forks(self):
+        paths = enumerate_paths(fanout("m", chain("x"), chain("y", "z")))
+        assert sorted(paths) == [("m", "x"), ("m", "y", "z")]
+
+    def test_sequential_children_share_path(self):
+        root = CallNode("m", children=(CallNode("x"), CallNode("y")), parallel=False)
+        assert enumerate_paths(root) == [("m", "x", "y")]
+
+    def test_nested_mixed(self):
+        root = CallNode(
+            "m",
+            children=(
+                CallNode("seq1"),
+                CallNode("fan", children=(CallNode("a"), CallNode("b")), parallel=True),
+            ),
+            parallel=False,
+        )
+        paths = enumerate_paths(root)
+        assert sorted(paths) == [("m", "seq1", "fan", "a"), ("m", "seq1", "fan", "b")]
+
+
+class TestAnalyzer:
+    def _sweep(self, front, back):
+        """Build a 2-pod sweep with given per-load means."""
+        tails = [2.0 * (f + b) for f, b in zip(front, back)]
+        return {"front": front, "back": back}, tails
+
+    def test_eq1_mean_weight(self, tiny_service):
+        analyzer = ContributionAnalyzer(tiny_service)
+        sojourns, tails = self._sweep([1.0, 1.0, 1.0], [3.0, 3.0, 3.0])
+        # Degenerate (flat) sweeps: P_i still well-defined.
+        result = analyzer.analyze(sojourns, [10.0, 11.0, 12.0])
+        assert result.contributions["front"].mean_weight == pytest.approx(0.25)
+        assert result.contributions["back"].mean_weight == pytest.approx(0.75)
+
+    def test_eq2_correlation_sign(self, tiny_service):
+        analyzer = ContributionAnalyzer(tiny_service)
+        sojourns = {"front": [1.0, 1.0, 1.0], "back": [1.0, 2.0, 4.0]}
+        tails = [10.0, 20.0, 40.0]
+        result = analyzer.analyze(sojourns, tails)
+        assert result.contributions["back"].correlation == pytest.approx(1.0)
+        assert result.contributions["front"].correlation == 0.0
+
+    def test_eq3_variation(self, tiny_service):
+        analyzer = ContributionAnalyzer(tiny_service)
+        series = [1.0, 2.0, 3.0]
+        sojourns = {"front": series, "back": [2.0, 2.0, 2.0]}
+        result = analyzer.analyze(sojourns, [5.0, 6.0, 7.0])
+        m = 3
+        mean = 2.0
+        expected = math.sqrt(sum((x - mean) ** 2 for x in series) / (m * (m - 1))) / mean
+        assert result.contributions["front"].variation == pytest.approx(expected)
+        assert result.contributions["back"].variation == 0.0
+
+    def test_growing_noisy_pod_dominates(self, tiny_service):
+        """A pod with high mean, growth and correlation out-contributes a
+        flat stable one — the paper's three principles combined."""
+        analyzer = ContributionAnalyzer(tiny_service)
+        sojourns = {
+            "front": [1.0, 1.05, 1.1, 1.05, 1.0],
+            "back": [5.0, 8.0, 12.0, 20.0, 35.0],
+        }
+        tails = [12.0, 18.0, 26.0, 45.0, 75.0]
+        result = analyzer.analyze(sojourns, tails)
+        assert result.contribution("back") > 10 * result.contribution("front")
+
+    def test_normalized_sums_to_one(self, tiny_service):
+        analyzer = ContributionAnalyzer(tiny_service)
+        sojourns = {"front": [1.0, 2.0, 3.0], "back": [2.0, 4.0, 9.0]}
+        result = analyzer.analyze(sojourns, [6.0, 12.0, 25.0])
+        assert sum(result.normalized().values()) == pytest.approx(1.0)
+
+    def test_ranked_descending(self, tiny_service):
+        analyzer = ContributionAnalyzer(tiny_service)
+        sojourns = {"front": [1.0, 2.0, 3.0], "back": [2.0, 4.0, 9.0]}
+        result = analyzer.analyze(sojourns, [6.0, 12.0, 25.0])
+        ranked = result.ranked()
+        assert ranked[0].contribution >= ranked[-1].contribution
+
+    def test_eq5_off_critical_path_scaled(self, fanout_service):
+        """A short parallel branch gets alpha < 1 (Eq. 5)."""
+        analyzer = ContributionAnalyzer(fanout_service)
+        sojourns = {
+            "root": [2.0, 2.5, 3.0],
+            "long": [10.0, 14.0, 20.0],
+            "short": [1.0, 1.4, 2.0],
+        }
+        tails = [15.0, 20.0, 28.0]
+        result = analyzer.analyze(sojourns, tails)
+        assert result.contributions["long"].alpha == 1.0
+        assert result.contributions["root"].alpha == 1.0
+        short_alpha = result.contributions["short"].alpha
+        # alpha = (root + short) / (root + long)
+        assert short_alpha == pytest.approx((2.5 + 1.4 + 0.1) / (2.5 + 14.0 + 0.1), abs=0.05)
+        assert result.contributions["short"].on_critical_path is False
+
+    def test_missing_pod_rejected(self, tiny_service):
+        analyzer = ContributionAnalyzer(tiny_service)
+        with pytest.raises(ProfilingError):
+            analyzer.analyze({"front": [1.0, 2.0]}, [3.0, 4.0])
+
+    def test_length_mismatch_rejected(self, tiny_service):
+        analyzer = ContributionAnalyzer(tiny_service)
+        with pytest.raises(ProfilingError):
+            analyzer.analyze(
+                {"front": [1.0, 2.0], "back": [1.0, 2.0, 3.0]}, [3.0, 4.0]
+            )
+
+    def test_single_load_rejected(self, tiny_service):
+        analyzer = ContributionAnalyzer(tiny_service)
+        with pytest.raises(ProfilingError):
+            analyzer.analyze({"front": [1.0], "back": [1.0]}, [2.0])
+
+    def test_negative_correlation_clamped_to_zero_contribution(self, tiny_service):
+        analyzer = ContributionAnalyzer(tiny_service)
+        sojourns = {"front": [3.0, 2.0, 1.0], "back": [1.0, 2.0, 3.0]}
+        tails = [4.0, 5.0, 6.0]
+        result = analyzer.analyze(sojourns, tails)
+        assert result.contribution("front") == 0.0

@@ -1,0 +1,244 @@
+"""Tests for Algorithm 2 (top controller) and the subcontrollers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bejobs.catalog import CPU_STRESS, STREAM_DRAM
+from repro.bejobs.job import BeJobState
+from repro.cluster.machine import BE_DOMAIN, Machine, MachineSpec
+from repro.core.actions import BeAction
+from repro.core.subcontrollers import (
+    BeJobPool,
+    CpuLlcSubcontroller,
+    FrequencySubcontroller,
+    MemorySubcontroller,
+    NetworkSubcontroller,
+)
+from repro.core.top_controller import ControllerThresholds, TopController
+from repro.errors import ControlError
+
+
+@pytest.fixture
+def controller() -> TopController:
+    return TopController(
+        servpod="mysql",
+        thresholds=ControllerThresholds(loadlimit=0.76, slacklimit=0.4),
+        sla_ms=100.0,
+    )
+
+
+class TestAlgorithm2:
+    def test_violation_stops_be(self, controller):
+        assert controller.decide(load=0.5, tail_ms=120.0) == BeAction.STOP_BE
+
+    def test_loadlimit_suspends(self, controller):
+        assert controller.decide(load=0.8, tail_ms=10.0) == BeAction.SUSPEND_BE
+
+    def test_load_at_limit_does_not_suspend_by_default(self, controller):
+        assert controller.decide(load=0.76, tail_ms=10.0) != BeAction.SUSPEND_BE
+
+    def test_heracles_mode_suspends_at_limit(self):
+        heracles = TopController(
+            "any", ControllerThresholds(0.85, 0.10), sla_ms=100.0,
+            suspend_on_load_at_or_above=True,
+        )
+        assert heracles.decide(load=0.85, tail_ms=10.0) == BeAction.SUSPEND_BE
+
+    def test_cut_band(self, controller):
+        # slack in (0, slacklimit/2) = (0, 0.2): tail in (80, 100)
+        assert controller.decide(load=0.5, tail_ms=90.0) == BeAction.CUT_BE
+
+    def test_disallow_band(self, controller):
+        # slack in (0.2, 0.4): tail in (60, 80)
+        assert controller.decide(load=0.5, tail_ms=70.0) == BeAction.DISALLOW_BE_GROWTH
+
+    def test_allow_band(self, controller):
+        # slack > 0.4: tail < 60
+        assert controller.decide(load=0.5, tail_ms=30.0) == BeAction.ALLOW_BE_GROWTH
+
+    def test_violation_takes_precedence_over_loadlimit(self, controller):
+        assert controller.decide(load=0.99, tail_ms=150.0) == BeAction.STOP_BE
+
+    def test_history_recorded_with_time(self, controller):
+        controller.decide(0.5, 30.0, t=2.0)
+        controller.decide(0.5, 120.0, t=4.0)
+        assert [a for _, a in controller.history] == [
+            BeAction.ALLOW_BE_GROWTH, BeAction.STOP_BE,
+        ]
+        counts = controller.action_counts()
+        assert counts[BeAction.STOP_BE] == 1
+
+    def test_negative_load_rejected(self, controller):
+        with pytest.raises(ControlError):
+            controller.decide(-0.1, 10.0)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ControlError):
+            ControllerThresholds(loadlimit=0.0, slacklimit=0.5)
+        with pytest.raises(ControlError):
+            ControllerThresholds(loadlimit=0.5, slacklimit=1.5)
+
+    def test_action_severity_ordering(self):
+        assert BeAction.STOP_BE.harsher_than(BeAction.SUSPEND_BE)
+        assert BeAction.SUSPEND_BE.harsher_than(BeAction.CUT_BE)
+        assert BeAction.CUT_BE.harsher_than(BeAction.DISALLOW_BE_GROWTH)
+        assert BeAction.DISALLOW_BE_GROWTH.harsher_than(BeAction.ALLOW_BE_GROWTH)
+
+
+@pytest.fixture
+def rig():
+    machine = Machine(MachineSpec(name="m0"))
+    machine.reserve_lc(cores=12, llc_ways=10, memory_gb=64.0)
+    pool = BeJobPool([CPU_STRESS], "m0", max_instances=4)
+    return machine, pool, CpuLlcSubcontroller()
+
+
+class TestCpuLlcSubcontroller:
+    def test_allow_launches_one_instance_per_tick(self, rig):
+        machine, pool, sub = rig
+        for expected in (1, 2, 3, 4):
+            sub.apply(BeAction.ALLOW_BE_GROWTH, machine, pool)
+            assert pool.active_count == expected
+        sub.apply(BeAction.ALLOW_BE_GROWTH, machine, pool)
+        assert pool.active_count == 4  # capped
+
+    def test_allow_grows_thinnest_after_cap(self, rig):
+        machine, pool, sub = rig
+        for _ in range(4):
+            sub.apply(BeAction.ALLOW_BE_GROWTH, machine, pool)
+        cores_before = machine.be_total_cores
+        sub.apply(BeAction.ALLOW_BE_GROWTH, machine, pool)
+        assert machine.be_total_cores == cores_before + 1
+
+    def test_stop_kills_everything(self, rig):
+        machine, pool, sub = rig
+        sub.apply(BeAction.ALLOW_BE_GROWTH, machine, pool)
+        sub.apply(BeAction.STOP_BE, machine, pool)
+        assert pool.active_count == 0
+        assert machine.be_instance_count == 0
+        assert machine.counters.be_kills == 1
+
+    def test_stop_resets_be_frequency(self, rig):
+        machine, pool, sub = rig
+        machine.dvfs.step_down(BE_DOMAIN)
+        sub.apply(BeAction.STOP_BE, machine, pool)
+        assert machine.dvfs.frequency(BE_DOMAIN) == machine.spec.max_mhz
+
+    def test_suspend_pauses_all(self, rig):
+        machine, pool, sub = rig
+        sub.apply(BeAction.ALLOW_BE_GROWTH, machine, pool)
+        sub.apply(BeAction.ALLOW_BE_GROWTH, machine, pool)
+        sub.apply(BeAction.SUSPEND_BE, machine, pool)
+        assert machine.be_running_count == 0
+        assert all(j.state == BeJobState.SUSPENDED for j in pool.jobs())
+
+    def test_disallow_resumes_gradually(self, rig):
+        machine, pool, sub = rig
+        for _ in range(3):
+            sub.apply(BeAction.ALLOW_BE_GROWTH, machine, pool)
+        sub.apply(BeAction.SUSPEND_BE, machine, pool)
+        sub.apply(BeAction.DISALLOW_BE_GROWTH, machine, pool)
+        assert machine.be_running_count == 1  # one per period
+        sub.apply(BeAction.DISALLOW_BE_GROWTH, machine, pool)
+        assert machine.be_running_count == 2
+
+    def test_disallow_does_not_grow(self, rig):
+        machine, pool, sub = rig
+        sub.apply(BeAction.ALLOW_BE_GROWTH, machine, pool)
+        count = pool.active_count
+        cores = machine.be_total_cores
+        sub.apply(BeAction.DISALLOW_BE_GROWTH, machine, pool)
+        assert pool.active_count == count
+        assert machine.be_total_cores == cores
+
+    def test_cut_shrinks_grown_jobs(self, rig):
+        machine, pool, sub = rig
+        # 4 launches up to the instance cap, then 2 growth steps.
+        for _ in range(6):
+            sub.apply(BeAction.ALLOW_BE_GROWTH, machine, pool)
+        cores_before = machine.be_total_cores
+        assert cores_before > 4
+        sub.apply(BeAction.CUT_BE, machine, pool)
+        assert machine.be_total_cores < cores_before
+
+    def test_cut_ladder_suspends_at_minimum(self, rig):
+        machine, pool, sub = rig
+        sub.apply(BeAction.ALLOW_BE_GROWTH, machine, pool)
+        sub.apply(BeAction.ALLOW_BE_GROWTH, machine, pool)
+        # Jobs are at minimum footprint; repeated cuts pause them.
+        for _ in range(4):
+            sub.apply(BeAction.CUT_BE, machine, pool)
+        assert machine.be_running_count == 0
+
+    def test_cut_preserves_instances(self, rig):
+        """Figure 17: CutBE reduces resources, not the instance count."""
+        machine, pool, sub = rig
+        for _ in range(3):
+            sub.apply(BeAction.ALLOW_BE_GROWTH, machine, pool)
+        instances = machine.be_instance_count
+        sub.apply(BeAction.CUT_BE, machine, pool)
+        assert machine.be_instance_count == instances
+
+
+class TestOtherSubcontrollers:
+    def test_frequency_steps_down_over_power_cap(self):
+        machine = Machine(MachineSpec(name="m0", tdp_watts=60.0))
+        machine.reserve_lc(cores=12, llc_ways=10, memory_gb=64.0)
+        sub = FrequencySubcontroller()
+        new = sub.apply(machine, lc_busy_cores=10.0, be_busy_cores=20.0)
+        assert new == machine.spec.max_mhz - 100
+
+    def test_frequency_restores_when_cool(self):
+        machine = Machine(MachineSpec(name="m0", tdp_watts=500.0))
+        machine.reserve_lc(cores=12, llc_ways=10, memory_gb=64.0)
+        machine.dvfs.step_down(BE_DOMAIN)
+        sub = FrequencySubcontroller()
+        new = sub.apply(machine, lc_busy_cores=1.0, be_busy_cores=1.0)
+        assert new == machine.spec.max_mhz
+
+    def test_frequency_validation(self):
+        with pytest.raises(ControlError):
+            FrequencySubcontroller(cap_fraction=0.5, restore_fraction=0.8)
+
+    def test_memory_grows_toward_working_set(self):
+        machine = Machine(MachineSpec(name="m0"))
+        machine.reserve_lc(cores=12, llc_ways=10, memory_gb=64.0)
+        pool = BeJobPool([STREAM_DRAM], "m0")  # wants 4 GB
+        cpu = CpuLlcSubcontroller()
+        mem = MemorySubcontroller()
+        cpu.apply(BeAction.ALLOW_BE_GROWTH, machine, pool)
+        job = pool.jobs()[0]
+        mem.apply(BeAction.ALLOW_BE_GROWTH, machine, pool)
+        assert machine.be_allocation(job.job_id).memory_gb == pytest.approx(2.1)
+        mem.apply(BeAction.CUT_BE, machine, pool)
+        assert machine.be_allocation(job.job_id).memory_gb == pytest.approx(2.0)
+
+    def test_network_updates_cap(self):
+        machine = Machine(MachineSpec(name="m0", link_gbps=10.0))
+        cap = NetworkSubcontroller().apply(machine, lc_net_gbps=4.0)
+        assert cap == pytest.approx(10.0 - 1.2 * 4.0)
+
+
+class TestBeJobPool:
+    def test_cycles_specs(self):
+        pool = BeJobPool([CPU_STRESS, STREAM_DRAM], "m0")
+        names = [pool.new_job().spec.name for _ in range(4)]
+        assert names == ["CPU-stress", "stream-dram", "CPU-stress", "stream-dram"]
+
+    def test_kill_all_counts(self):
+        pool = BeJobPool([CPU_STRESS], "m0")
+        pool.new_job()
+        pool.new_job()
+        assert pool.kill_all() == 2
+        assert pool.total_killed == 2
+        assert pool.active_count == 0
+
+    def test_unknown_job_lookup(self):
+        pool = BeJobPool([CPU_STRESS], "m0")
+        with pytest.raises(ControlError):
+            pool.job("nope")
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ControlError):
+            BeJobPool([], "m0")

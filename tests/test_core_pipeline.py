@@ -1,0 +1,145 @@
+"""Tests for the Servpod abstraction, profiler and the Rhythm facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiler import ServiceProfiler
+from repro.core.rhythm import Rhythm, RhythmConfig
+from repro.core.servpod import Servpod, deploy_service
+from repro.cluster.machine import Machine
+from repro.errors import ProfilingError
+from repro.interference.model import InterferenceModel, Pressure
+from repro.sim.rng import RandomStreams
+
+from conftest import make_tiny_service
+
+FAST_LOADS = tuple(round(0.05 * i, 2) for i in range(1, 21))
+
+
+def fast_rhythm(spec=None, mode: str = "direct") -> Rhythm:
+    return Rhythm(
+        spec or make_tiny_service(),
+        RandomStreams(7),
+        RhythmConfig(
+            loads=FAST_LOADS, requests_per_load=150, tail_samples=400,
+            profiling_mode=mode,
+        ),
+    )
+
+
+class TestServpodDeployment:
+    def test_one_machine_per_servpod(self, tiny_service):
+        deployment = deploy_service(tiny_service)
+        assert len(deployment.cluster) == len(tiny_service.servpods)
+        assert deployment.cluster.names() == tiny_service.servpod_names
+
+    def test_lc_reserved(self, tiny_service):
+        deployment = deploy_service(tiny_service)
+        pod = deployment.servpod("back")
+        assert pod.machine.lc_cores == tiny_service.servpod("back").cores
+        assert pod.machine.lc_llc_ways == tiny_service.servpod("back").llc_ways
+
+    def test_effective_sensitivity_weighted_by_base(self, tiny_service):
+        pod = Servpod(spec=tiny_service.servpod("back"), machine=Machine())
+        sens = pod.effective_sensitivity()
+        # single-component pod: identical to the component's vector
+        assert sens == tiny_service.servpod("back").components[0].sensitivity
+
+    def test_slowdown_uses_model(self, tiny_service):
+        pod = Servpod(spec=tiny_service.servpod("back"), machine=Machine())
+        model = InterferenceModel()
+        assert pod.slowdown(Pressure.none(), 0.5, model) == 1.0
+        assert pod.slowdown(Pressure(membw=0.8), 0.8, model) > 1.5
+
+
+class TestProfiler:
+    @pytest.mark.parametrize("mode", ["direct", "jaeger", "tracer"])
+    def test_modes_agree_on_means(self, mode):
+        spec = make_tiny_service()
+        profiler = ServiceProfiler(
+            spec, RandomStreams(3), loads=(0.2, 0.5, 0.8),
+            requests_per_load=200, tail_samples=400, mode=mode,
+        )
+        result = profiler.profile()
+        assert set(result.mean_sojourns) == {"front", "back"}
+        # back (base 8ms) outweighs front (base 2ms) in every mode
+        for j in range(3):
+            assert result.mean_sojourns["back"][j] > result.mean_sojourns["front"][j]
+
+    def test_tails_increase_with_load(self):
+        profiler = ServiceProfiler(
+            make_tiny_service(), RandomStreams(3), loads=(0.2, 0.5, 0.9),
+            requests_per_load=150, tail_samples=2000, mode="direct",
+        )
+        result = profiler.profile()
+        assert result.tails[2] > result.tails[0]
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ProfilingError):
+            ServiceProfiler(make_tiny_service(), mode="bpf")
+
+    def test_too_few_loads_rejected(self):
+        with pytest.raises(ProfilingError):
+            ServiceProfiler(make_tiny_service(), loads=(0.5, 0.9))
+
+
+class TestRhythmFacade:
+    def test_pipeline_stages_cached(self):
+        rhythm = fast_rhythm()
+        assert rhythm.profile() is rhythm.profile()
+        assert rhythm.contributions() is rhythm.contributions()
+
+    def test_backend_dominates_contribution(self):
+        rhythm = fast_rhythm()
+        normalized = rhythm.contributions().normalized()
+        assert normalized["back"] > normalized["front"]
+
+    def test_loadlimits_follow_knees(self):
+        rhythm = fast_rhythm()
+        limits = rhythm.loadlimits()
+        # back knee 0.6 -> ~0.75; front knee 0.8 -> ~0.85
+        assert limits["back"] < limits["front"]
+        assert 0.6 < limits["back"] < 0.9
+        assert 0.75 < limits["front"] <= 1.0
+
+    def test_analytic_slacklimits_without_probe(self):
+        rhythm = fast_rhythm()
+        limits = rhythm.slacklimits()
+        assert set(limits) == {"front", "back"}
+        assert all(0.01 <= v <= 1.0 for v in limits.values())
+
+    def test_probe_driven_slacklimits(self):
+        rhythm = fast_rhythm()
+
+        def probe(cfg):
+            return cfg.get("back", 1.0) < 0.3  # aggressive back violates
+
+        limits = rhythm.slacklimits(probe)
+        assert limits["back"] >= 0.3
+
+    def test_controllers_configured(self):
+        rhythm = fast_rhythm()
+        controllers = rhythm.controllers()
+        assert set(controllers) == {"front", "back"}
+        ctrl = controllers["back"]
+        assert ctrl.sla_ms == rhythm.spec.sla_ms
+        assert ctrl.thresholds.loadlimit == rhythm.loadlimits()["back"]
+
+    def test_threshold_overrides(self):
+        rhythm = fast_rhythm()
+        rhythm.slacklimits()
+        rhythm.set_slacklimits({"back": 0.5})
+        assert rhythm.slacklimits()["back"] == 0.5
+        rhythm.set_loadlimits({"front": 0.9})
+        assert rhythm.loadlimits()["front"] == 0.9
+
+    def test_override_unknown_pod_rejected(self):
+        rhythm = fast_rhythm()
+        with pytest.raises(ProfilingError):
+            rhythm.set_slacklimits({"ghost": 0.5})
+
+    def test_unknown_servpod_thresholds_rejected(self):
+        rhythm = fast_rhythm()
+        with pytest.raises(ProfilingError):
+            rhythm.thresholds("ghost")

@@ -1,0 +1,81 @@
+"""Tests for CSV export of experiment rows."""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.export import rows_to_csv, timeline_to_csv
+
+
+@dataclass(frozen=True)
+class _Row:
+    service: str
+    value_a: float
+    value_b: float
+
+    @property
+    def ratio(self) -> float:
+        return self.value_a / self.value_b
+
+
+class TestRowsToCsv:
+    def test_writes_fields_and_properties(self, tmp_path):
+        rows = [_Row("svc", 2.0, 4.0), _Row("svc2", 1.0, 2.0)]
+        path = rows_to_csv(rows, tmp_path / "out.csv")
+        with path.open() as fh:
+            data = list(csv.DictReader(fh))
+        assert len(data) == 2
+        assert data[0]["service"] == "svc"
+        assert float(data[0]["ratio"]) == pytest.approx(0.5)
+
+    def test_without_properties(self, tmp_path):
+        path = rows_to_csv([_Row("s", 1.0, 2.0)], tmp_path / "o.csv",
+                           include_properties=False)
+        with path.open() as fh:
+            header = fh.readline().strip().split(",")
+        assert header == ["service", "value_a", "value_b"]
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            rows_to_csv([], tmp_path / "o.csv")
+
+    def test_mixed_types_rejected(self, tmp_path):
+        @dataclass
+        class Other:
+            x: int
+
+        with pytest.raises(ExperimentError):
+            rows_to_csv([_Row("s", 1.0, 2.0), Other(1)], tmp_path / "o.csv")
+
+    def test_non_dataclass_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            rows_to_csv([{"a": 1}], tmp_path / "o.csv")
+
+    def test_real_driver_rows_export(self, tmp_path):
+        from repro.experiments.figures.table1 import table1_rows
+
+        lc_rows, _ = table1_rows()
+        path = rows_to_csv(lc_rows, tmp_path / "table1.csv")
+        with path.open() as fh:
+            data = list(csv.DictReader(fh))
+        assert {row["workload"] for row in data} >= {"E-commerce", "Redis", "SNMS"}
+
+
+class TestTimelineToCsv:
+    def test_exports_long_format(self, tmp_path):
+        from repro.experiments.colocation import ColocationConfig
+        from repro.experiments.figures.figure17 import run_figure17
+
+        data = run_figure17(
+            duration_s=60.0, config=ColocationConfig(duration_s=60.0)
+        )
+        path = timeline_to_csv(data, tmp_path / "timeline.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert {r["servpod"] for r in rows} == {"tomcat", "mysql"}
+        assert len(rows) == 2 * 30  # two pods x 30 control periods
+        assert all("action" in r for r in rows)

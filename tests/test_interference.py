@@ -1,0 +1,146 @@
+"""Tests for sensitivity vectors, isolation and the interference model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bejobs.job import BeResourceSnapshot
+from repro.errors import ConfigurationError
+from repro.interference.isolation import IsolationConfig
+from repro.interference.model import InterferenceModel, Pressure
+from repro.interference.sensitivity import SensitivityVector
+
+
+class TestSensitivityVector:
+    def test_defaults_zero(self):
+        assert SensitivityVector().magnitude == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            SensitivityVector(llc=-0.1)
+
+    def test_coefficient_lookup(self):
+        v = SensitivityVector(membw=1.5)
+        assert v.coefficient("membw") == 1.5
+        with pytest.raises(ConfigurationError):
+            v.coefficient("disk")
+
+    def test_scaled(self):
+        v = SensitivityVector(cpu=1.0, llc=2.0).scaled(0.5)
+        assert v.cpu == 0.5 and v.llc == 1.0
+
+
+class TestPressure:
+    def test_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            Pressure(membw=1.5)
+        with pytest.raises(ConfigurationError):
+            Pressure(cpu=-0.1)
+
+    def test_none_is_zero(self):
+        assert Pressure.none().is_zero()
+
+    def test_from_snapshot_uses_isolation(self):
+        snap = BeResourceSnapshot(
+            busy_cores=20.0,
+            membw_fraction=0.6,
+            llc_demand_fraction=0.8,
+            llc_occupied_fraction=0.4,
+            net_fraction=0.3,
+        )
+        iso = IsolationConfig()
+        p = Pressure.from_be_snapshot(snap, total_cores=40, isolation=iso)
+        assert p.cpu == pytest.approx(iso.cpu_pressure(0.5))
+        assert p.llc == pytest.approx(iso.llc_pressure(0.4, 0.8))
+        assert p.membw == pytest.approx(0.6)
+        assert p.net == pytest.approx(0.3)
+        assert p.freq == 0.0
+
+    def test_freq_pressure_from_lc_throttling(self):
+        p = Pressure.from_be_snapshot(
+            BeResourceSnapshot(), 40, IsolationConfig(), lc_freq_ratio=0.8
+        )
+        assert p.freq == pytest.approx(0.2)
+
+
+class TestIsolation:
+    def test_cpuset_attenuates_cpu_pressure(self):
+        iso = IsolationConfig()
+        raw = IsolationConfig(cpuset=False)
+        assert iso.cpu_pressure(0.5) < raw.cpu_pressure(0.5)
+
+    def test_cat_attenuates_llc_pressure(self):
+        iso = IsolationConfig()
+        raw = IsolationConfig(cat=False)
+        assert iso.llc_pressure(0.5, 0.9) < raw.llc_pressure(0.5, 0.9)
+
+    def test_cat_leak_scales_with_demand(self):
+        iso = IsolationConfig()
+        assert iso.llc_pressure(0.2, 0.9) > iso.llc_pressure(0.2, 0.2)
+
+    def test_pressure_capped_at_one(self):
+        raw = IsolationConfig(cpuset=False)
+        assert raw.cpu_pressure(5.0) == 1.0
+
+    def test_leak_range_validated(self):
+        with pytest.raises(ConfigurationError):
+            IsolationConfig(cat_leak=1.5)
+
+
+class TestInterferenceModel:
+    def test_zero_pressure_no_slowdown(self):
+        model = InterferenceModel()
+        assert model.slowdown(SensitivityVector(membw=5.0), Pressure.none(), 0.9) == 1.0
+
+    def test_slowdown_grows_with_load(self):
+        """Figure 2's per-panel shape: degradation rises with load."""
+        model = InterferenceModel()
+        sens = SensitivityVector(membw=2.0)
+        p = Pressure(membw=0.8)
+        slowdowns = [model.slowdown(sens, p, u) for u in (0.2, 0.4, 0.6, 0.8)]
+        assert slowdowns == sorted(slowdowns)
+        assert slowdowns[-1] > slowdowns[0]
+
+    def test_slowdown_grows_with_sensitivity(self):
+        """Figure 2's cross-component asymmetry."""
+        model = InterferenceModel()
+        p = Pressure(llc=1.0)
+        weak = model.slowdown(SensitivityVector(llc=0.1), p, 0.6)
+        strong = model.slowdown(SensitivityVector(llc=2.5), p, 0.6)
+        assert strong > weak * 5
+
+    def test_convex_pressure_response(self):
+        """Half-intensity stressors hurt much less than half as much
+        (big vs small stream variants in Figure 2)."""
+        model = InterferenceModel()
+        sens = SensitivityVector(membw=2.0)
+        full = model.slowdown(sens, Pressure(membw=1.0), 0.6) - 1.0
+        half = model.slowdown(sens, Pressure(membw=0.5), 0.6) - 1.0
+        assert half < full / 2
+
+    def test_amplification_monotone_and_finite(self):
+        model = InterferenceModel()
+        assert model.load_amplification(0.0) == pytest.approx(1.0)
+        assert model.load_amplification(1.0) > model.load_amplification(0.5)
+        assert model.load_amplification(1.0) < 100
+
+    def test_sigma_inflation_capped(self):
+        model = InterferenceModel()
+        assert model.sigma_inflation(1.0) == 1.0
+        assert model.sigma_inflation(1000.0) == model.sigma_cap
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterferenceModel(gamma=0.5)
+        with pytest.raises(ConfigurationError):
+            InterferenceModel(headroom=0.0)
+        with pytest.raises(ConfigurationError):
+            InterferenceModel(sigma_cap=0.5)
+
+    def test_multi_resource_impacts_add(self):
+        model = InterferenceModel()
+        sens = SensitivityVector(llc=1.0, membw=1.0)
+        only_llc = model.slowdown(sens, Pressure(llc=0.5), 0.5)
+        only_mem = model.slowdown(sens, Pressure(membw=0.5), 0.5)
+        both = model.slowdown(sens, Pressure(llc=0.5, membw=0.5), 0.5)
+        assert both - 1.0 == pytest.approx((only_llc - 1.0) + (only_mem - 1.0))

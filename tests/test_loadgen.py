@@ -1,0 +1,142 @@
+"""Tests for load patterns, the ClarkNet trace and window generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.loadgen.clarknet import ClarkNetLoad, clarknet_production_load
+from repro.loadgen.generator import WindowLoadGenerator
+from repro.loadgen.patterns import (
+    CallableLoad,
+    ConstantLoad,
+    DiurnalLoad,
+    StepLoad,
+    SweepLoad,
+)
+
+
+class TestPatterns:
+    def test_constant(self):
+        p = ConstantLoad(0.6)
+        assert p.load_at(0) == p.load_at(1e6) == 0.6
+
+    def test_constant_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLoad(1.2)
+
+    def test_step(self):
+        p = StepLoad([(0.0, 0.2), (10.0, 0.8)])
+        assert p.load_at(5.0) == 0.2
+        assert p.load_at(10.0) == 0.8
+        assert p.load_at(50.0) == 0.8
+
+    def test_step_sorted_automatically(self):
+        p = StepLoad([(10.0, 0.8), (0.0, 0.2)])
+        assert p.load_at(5.0) == 0.2
+
+    def test_diurnal_period(self):
+        p = DiurnalLoad(base=0.5, amplitude=0.3, period_s=100.0)
+        assert p.load_at(0.0) == pytest.approx(p.load_at(100.0))
+        assert 0.2 <= min(p.load_at(t) for t in range(100)) <= 0.21
+        assert 0.79 <= max(p.load_at(t) for t in range(100)) <= 0.8
+
+    def test_diurnal_range_validated(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalLoad(base=0.9, amplitude=0.3)
+
+    def test_sweep(self):
+        p = SweepLoad(0.1, 0.9, 100.0)
+        assert p.load_at(-5) == 0.1
+        assert p.load_at(50.0) == pytest.approx(0.5)
+        assert p.load_at(200.0) == 0.9
+
+    def test_callable_clamps(self):
+        p = CallableLoad(lambda t: 2.0)
+        assert p.load_at(0) == 1.0
+
+
+class TestClarkNet:
+    def test_peak_normalisation(self):
+        p = clarknet_production_load(duration_s=100.0, peak_fraction=0.9)
+        loads = [p.load_at(t) for t in np.linspace(0, 100, 2000)]
+        assert max(loads) <= 0.9 + 1e-9
+        assert max(loads) > 0.85  # peak actually reached
+
+    def test_diurnal_structure(self):
+        """A trough and a peak exist within each compressed day."""
+        p = clarknet_production_load(duration_s=500.0, days=1)
+        loads = np.array([p.load_at(t) for t in np.linspace(0, 500, 1000)])
+        assert loads.min() < 0.3
+        assert loads.max() > 0.8
+
+    def test_days_scale_sample_count(self):
+        p1 = clarknet_production_load(duration_s=100.0, days=1)
+        p5 = clarknet_production_load(duration_s=100.0, days=5)
+        assert len(p5.levels) == 5 * len(p1.levels)
+
+    def test_deterministic_per_seed(self):
+        a = clarknet_production_load(seed=3).levels
+        b = clarknet_production_load(seed=3).levels
+        assert (a == b).all()
+
+    def test_clamps_outside_duration(self):
+        p = clarknet_production_load(duration_s=100.0)
+        assert p.load_at(-5.0) == p.load_at(0.0)
+        assert p.load_at(200.0) == p.load_at(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            clarknet_production_load(peak_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            clarknet_production_load(days=0)
+        with pytest.raises(ConfigurationError):
+            ClarkNetLoad([0.5], 100.0)
+
+
+class TestWindowGenerator:
+    def _gen(self, load=0.5, burst=0.0, **kw):
+        return WindowLoadGenerator(
+            ConstantLoad(load), max_qps=1000.0,
+            rng=np.random.default_rng(0), burst_sigma=burst, **kw,
+        )
+
+    def test_request_count_near_expectation(self):
+        gen = self._gen(0.5)
+        counts = [gen.window(i * 2.0, 2.0).n_requests for i in range(200)]
+        assert np.mean(counts) == pytest.approx(1000.0, rel=0.05)
+
+    def test_sample_cap_respected(self):
+        gen = self._gen(0.9, sample_cap=300, min_samples=50)
+        w = gen.window(0.0, 2.0)
+        assert w.n_samples == 300
+
+    def test_zero_load_zero_requests(self):
+        gen = self._gen(0.0)
+        w = gen.window(0.0, 2.0)
+        assert w.n_requests == 0
+        assert w.n_samples == 0
+
+    def test_burst_jitters_realized_not_metric(self):
+        gen = self._gen(0.5, burst=0.1)
+        ws = [gen.window(i * 2.0, 2.0) for i in range(100)]
+        assert all(w.load == 0.5 for w in ws)
+        realized = [w.realized_load for w in ws]
+        assert np.std(realized) > 0.02
+
+    def test_no_burst_realized_equals_metric(self):
+        gen = self._gen(0.5, burst=0.0)
+        w = gen.window(0.0, 2.0)
+        assert w.realized_load == w.load
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self._gen(0.5).window(0.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            WindowLoadGenerator(ConstantLoad(0.5), 0.0, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            WindowLoadGenerator(
+                ConstantLoad(0.5), 10.0, np.random.default_rng(0),
+                sample_cap=10, min_samples=20,
+            )

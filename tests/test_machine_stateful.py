@@ -1,0 +1,120 @@
+"""Stateful property test: machine resource conservation.
+
+Drives a :class:`~repro.cluster.machine.Machine` through arbitrary
+interleavings of BE lifecycle operations (launch, grow, shrink, suspend,
+resume, kill, memory steps) and checks the conservation invariants after
+every step: cores and LLC ways are never oversubscribed or leaked, and
+memory accounting never goes negative.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.cluster.machine import Machine, MachineSpec
+from repro.errors import AllocationError
+
+
+class MachineLifecycle(RuleBasedStateMachine):
+    """Random BE lifecycle interleavings against one machine."""
+
+    @initialize()
+    def setup(self):
+        self.machine = Machine(MachineSpec(name="m", cores=20, llc_ways=10))
+        self.machine.reserve_lc(cores=8, llc_ways=4, memory_gb=32.0)
+        self.counter = 0
+        self.live: list[str] = []
+
+    # -- operations ------------------------------------------------------
+
+    @rule()
+    def launch(self):
+        self.counter += 1
+        job_id = f"j{self.counter}"
+        if self.machine.can_launch_be():
+            self.machine.launch_be(job_id)
+            self.live.append(job_id)
+        else:
+            with pytest.raises(AllocationError):
+                self.machine.launch_be(job_id)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def grow(self, data):
+        job_id = data.draw(st.sampled_from(self.live))
+        self.machine.grow_be(job_id)  # may legitimately return False
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def shrink(self, data):
+        job_id = data.draw(st.sampled_from(self.live))
+        self.machine.shrink_be(job_id)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def suspend_resume(self, data):
+        job_id = data.draw(st.sampled_from(self.live))
+        self.machine.suspend_be(job_id)
+        self.machine.resume_be(job_id)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def memory_steps(self, data):
+        job_id = data.draw(st.sampled_from(self.live))
+        self.machine.grow_be_memory(job_id)
+        self.machine.shrink_be_memory(job_id)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def kill(self, data):
+        job_id = data.draw(st.sampled_from(self.live))
+        self.machine.kill_be(job_id)
+        self.live.remove(job_id)
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def cores_conserved(self):
+        if not hasattr(self, "machine"):
+            return
+        machine = self.machine
+        owned = machine.lc_cores + machine.be_total_cores
+        assert owned + machine.cpuset.free_cores == machine.spec.cores
+        assert machine.be_total_cores >= len(self.live)  # >= 1 core/job
+
+    @invariant()
+    def llc_conserved(self):
+        if not hasattr(self, "machine"):
+            return
+        machine = self.machine
+        owned = machine.lc_llc_ways + machine.be_total_llc_ways
+        assert owned + machine.llc.free_ways == machine.llc.n_ways
+
+    @invariant()
+    def memory_never_negative(self):
+        if not hasattr(self, "machine"):
+            return
+        assert self.machine.free_memory_gb >= -1e-9
+        for alloc in self.machine.be_jobs().values():
+            assert alloc.memory_gb >= self.machine.be_initial_memory_gb - 1e-9
+
+    @invariant()
+    def allocation_records_match_live_set(self):
+        if not hasattr(self, "machine"):
+            return
+        assert set(self.machine.be_jobs()) == set(self.live)
+
+
+MachineLifecycle.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestMachineLifecycle = MachineLifecycle.TestCase

@@ -1,0 +1,225 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.contribution import ContributionAnalyzer, pearson
+from repro.core.loadlimit import derive_loadlimit
+from repro.core.slacklimit import (
+    MIN_SLACKLIMIT,
+    find_slacklimits,
+    violation_free_fixed_point,
+)
+from repro.core.actions import BeAction
+from repro.core.top_controller import ControllerThresholds, TopController
+from repro.interference.model import InterferenceModel, Pressure
+from repro.interference.sensitivity import SensitivityVector
+from repro.metrics.percentile import WindowedTailTracker, percentile
+from repro.sim.events import EventQueue
+from repro.tracing.causality import CausalityMatcher
+from repro.tracing.emitter import EmitterConfig, TraceEmitter, default_endpoints
+from repro.tracing.sojourn import SojournExtractor
+from repro.workloads.request import build_execution
+from repro.workloads.spec import chain
+
+from conftest import make_tiny_service
+
+fast = settings(max_examples=40, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+# --- event queue ------------------------------------------------------------
+
+@fast
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
+def test_event_queue_pops_sorted(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, lambda _t: None)
+    popped = []
+    while (e := q.pop()) is not None:
+        popped.append(e.time)
+    assert popped == sorted(times)
+
+
+# --- percentile / tail tracking ----------------------------------------------
+
+@fast
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=200),
+    st.floats(min_value=0.0, max_value=100.0),
+)
+def test_percentile_within_range(samples, pct):
+    value = percentile(samples, pct)
+    assert min(samples) <= value <= max(samples)
+
+
+@fast
+@given(st.lists(st.lists(st.floats(min_value=0.1, max_value=100.0),
+                         min_size=1, max_size=20), min_size=1, max_size=10))
+def test_worst_tail_is_max_of_window_tails(windows):
+    tracker = WindowedTailTracker(pct=99.0)
+    for window in windows:
+        tracker.add_samples(window)
+        tracker.roll_window()
+    assert tracker.worst_tail == pytest.approx(max(tracker.window_tails))
+
+
+# --- contribution math --------------------------------------------------------
+
+@fast
+@given(st.lists(st.tuples(st.floats(min_value=0.1, max_value=100.0),
+                          st.floats(min_value=0.1, max_value=100.0)),
+                min_size=2, max_size=30))
+def test_pearson_bounded(pairs):
+    xs = [p[0] for p in pairs]
+    ys = [p[1] for p in pairs]
+    r = pearson(xs, ys)
+    assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+
+
+@fast
+@given(
+    st.lists(st.floats(min_value=0.5, max_value=50.0), min_size=3, max_size=12),
+    st.lists(st.floats(min_value=0.5, max_value=50.0), min_size=3, max_size=12),
+)
+def test_contributions_nonnegative_and_normalizable(front, back):
+    m = min(len(front), len(back))
+    front, back = front[:m], back[:m]
+    tails = [f + b + 1.0 for f, b in zip(front, back)]
+    analyzer = ContributionAnalyzer(make_tiny_service())
+    result = analyzer.analyze({"front": front, "back": back}, tails)
+    values = [c.contribution for c in result.contributions.values()]
+    assert all(v >= 0 for v in values)
+    if sum(values) > 0:
+        assert sum(result.normalized().values()) == pytest.approx(1.0)
+
+
+# --- loadlimit -----------------------------------------------------------------
+
+@fast
+@given(st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=3, max_size=50))
+def test_loadlimit_is_a_sweep_point(covs):
+    loads = [round((i + 1) / (len(covs) + 1), 6) for i in range(len(covs))]
+    limit = derive_loadlimit(loads, covs, smoothing_window=1)
+    assert limit in loads
+
+
+# --- slacklimit (Algorithm 1) -----------------------------------------------------
+
+@fast
+@given(st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]),
+    st.floats(min_value=0.01, max_value=10.0),
+    min_size=1, max_size=4,
+))
+def test_fixed_point_in_unit_interval(contributions):
+    limits = violation_free_fixed_point(contributions)
+    assert set(limits) == set(contributions)
+    for value in limits.values():
+        assert MIN_SLACKLIMIT <= value <= 1.0
+
+
+@fast
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c"]),
+        st.floats(min_value=0.05, max_value=5.0),
+        min_size=2, max_size=3,
+    ),
+    st.integers(min_value=0, max_value=5),
+)
+def test_algorithm1_result_never_below_floor(contributions, violate_after):
+    calls = [0]
+
+    def probe(cfg):
+        calls[0] += 1
+        return calls[0] > violate_after
+
+    limits = find_slacklimits(contributions, probe)
+    for value in limits.values():
+        assert MIN_SLACKLIMIT <= value <= 1.0
+
+
+# --- Algorithm 2 totality -------------------------------------------------------
+
+@fast
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=500.0),
+    st.floats(min_value=0.01, max_value=1.0),
+    st.floats(min_value=0.01, max_value=1.0),
+)
+def test_algorithm2_total_function(load, tail, loadlimit, slacklimit):
+    ctrl = TopController(
+        "p", ControllerThresholds(loadlimit, slacklimit), sla_ms=100.0
+    )
+    action = ctrl.decide(load, tail)
+    assert isinstance(action, BeAction)
+    # Safety: an SLA violation always stops BE jobs.
+    if tail > 100.0:
+        assert action == BeAction.STOP_BE
+
+
+# --- interference model ----------------------------------------------------------
+
+@fast
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=3.0),
+)
+def test_slowdown_at_least_one_and_monotone_in_pressure(p_low, load, sens):
+    p_high = min(1.0, p_low + 0.3)
+    model = InterferenceModel()
+    vector = SensitivityVector(membw=sens)
+    low = model.slowdown(vector, Pressure(membw=p_low), load)
+    high = model.slowdown(vector, Pressure(membw=p_high), load)
+    assert 1.0 <= low <= high
+
+
+# --- request execution --------------------------------------------------------
+
+@fast
+@given(st.lists(st.floats(min_value=0.01, max_value=50.0), min_size=1, max_size=6))
+def test_chain_e2e_equals_sum_of_sojourns_plus_hops(sojourns):
+    pods = [f"p{i}" for i in range(len(sojourns))]
+    table = dict(zip(pods, sojourns))
+    record = build_execution(chain(*pods), table.__getitem__, hop_ms=0.0)
+    assert record.e2e_ms == pytest.approx(sum(sojourns))
+    assert record.sojourn_by_servpod() == pytest.approx(table)
+
+
+# --- tracer mean preservation ---------------------------------------------------
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.booleans(), st.booleans(), st.integers(min_value=0, max_value=2**16))
+def test_tracer_means_survive_any_emitter_mode(blocking, persistent, seed):
+    """Mean sojourns are exact whatever the pairing ambiguity."""
+    from repro.sim.rng import RandomStreams
+    from repro.workloads.service import Service
+
+    spec = make_tiny_service()
+    svc = Service(spec, RandomStreams(seed % 97))
+    records = svc.build_request_records(0.5, 60)
+    truth = {}
+    for r in records:
+        for pod, s in r.sojourn_by_servpod().items():
+            truth.setdefault(pod, []).append(s)
+    endpoints = default_endpoints(spec.servpod_names)
+    emitter = TraceEmitter(
+        endpoints,
+        EmitterConfig(blocking=blocking, persistent_connections=persistent,
+                      noise_per_request=2.0, seed=seed),
+    )
+    events = emitter.emit(records)
+    stats = SojournExtractor(CausalityMatcher(endpoints)).mean_only(events)
+    for pod, stat in stats.items():
+        assert stat.mean_ms == pytest.approx(float(np.mean(truth[pod])), rel=0.05)

@@ -1,0 +1,84 @@
+"""Tests for the request-level queueing cross-validation substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStreams
+from repro.workloads.latency import LatencyModel
+from repro.workloads.queueing import QueueingComponent, load_latency_curve
+from repro.workloads.spec import ComponentSpec
+
+
+@pytest.fixture(scope="module")
+def curve():
+    component = QueueingComponent(service_ms=5.0, service_sigma=0.3, workers=8)
+    return component, load_latency_curve(
+        component, [0.3, 0.6, 0.85, 0.95], duration_s=40.0, seed=1
+    )
+
+
+class TestQueueingComponent:
+    def test_capacity(self):
+        c = QueueingComponent(service_ms=10.0, service_sigma=0.3, workers=10)
+        # E[S] = 10ms * exp(0.045) ~ 10.46ms -> ~956 QPS with 10 workers.
+        assert c.capacity_qps == pytest.approx(956, rel=0.01)
+
+    def test_light_load_sojourn_is_service_time(self):
+        c = QueueingComponent(service_ms=5.0, service_sigma=0.3, workers=8)
+        stats = c.simulate(0.1 * c.capacity_qps, 30.0, RandomStreams(2))
+        # Nearly no queueing: sojourn ~ mean service time.
+        assert stats.mean_wait_ms < 0.2
+        assert stats.mean_sojourn_ms == pytest.approx(
+            5.0 * 2.718281828 ** (0.3**2 / 2), rel=0.1
+        )
+
+    def test_sojourn_grows_convexly_with_load(self, curve):
+        _, stats = curve
+        means = [s.mean_sojourn_ms for s in stats]
+        assert means == sorted(means)
+        # Convexity: the 0.85->0.95 jump dwarfs the 0.3->0.6 one.
+        assert (means[3] - means[2]) > 2 * (means[1] - means[0])
+
+    def test_tail_blows_up_near_saturation(self, curve):
+        _, stats = curve
+        assert stats[-1].p99_sojourn_ms > 3 * stats[0].p99_sojourn_ms
+
+    def test_variance_rises_toward_saturation(self, curve):
+        _, stats = curve
+        assert stats[-1].cov > stats[0].cov
+
+    def test_completed_counts_scale_with_rate(self, curve):
+        component, stats = curve
+        assert stats[-1].completed > stats[0].completed
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QueueingComponent(service_ms=0.0)
+        c = QueueingComponent(service_ms=5.0)
+        with pytest.raises(ConfigurationError):
+            c.simulate(-1.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            load_latency_curve(c, [1.5])
+
+
+class TestCrossValidation:
+    def test_analytic_model_matches_queueing_shape(self, curve):
+        """The analytic median(u) curve and the emergent queueing curve
+        agree in shape: both monotone and convex in load."""
+        _, stats = curve
+        spec = ComponentSpec(
+            name="x", base_ms=5.0, sigma0=0.3, lin_growth=0.5,
+            sat_growth=0.8, cov_knee=0.6,
+        )
+        loads = [s.offered_load for s in stats]
+        analytic = [LatencyModel.component_median_ms(spec, u) for u in loads]
+        emergent = [s.mean_sojourn_ms for s in stats]
+        # Same ordering at every pair of loads (rank correlation 1).
+        analytic_ranks = sorted(range(len(loads)), key=analytic.__getitem__)
+        emergent_ranks = sorted(range(len(loads)), key=emergent.__getitem__)
+        assert analytic_ranks == emergent_ranks
+        # Both convex: last-step growth dominates first-step growth.
+        assert (analytic[-1] - analytic[-2]) > (analytic[1] - analytic[0])
+        assert (emergent[-1] - emergent[-2]) > (emergent[1] - emergent[0])

@@ -1,0 +1,230 @@
+"""Tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ClockError, SimulationError
+from repro.sim.clock import Clock
+from repro.sim.engine import Engine
+from repro.sim.events import EventQueue
+from repro.sim.rng import RandomStreams
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert Clock(5.0).now == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ClockError):
+            Clock(-1.0)
+
+    def test_rejects_nan_start(self):
+        with pytest.raises(ClockError):
+            Clock(float("nan"))
+
+    def test_advance_to(self):
+        clock = Clock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_advance_to_same_time_ok(self):
+        clock = Clock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_cannot_move_backwards(self):
+        clock = Clock(10.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(9.9)
+
+    def test_advance_by(self):
+        clock = Clock(1.0)
+        clock.advance_by(0.5)
+        assert clock.now == 1.5
+
+    def test_advance_by_rejects_negative(self):
+        with pytest.raises(ClockError):
+            Clock().advance_by(-0.1)
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.push(2.0, lambda t: order.append("b"))
+        q.push(1.0, lambda t: order.append("a"))
+        q.push(3.0, lambda t: order.append("c"))
+        while (e := q.pop()) is not None:
+            e.callback(e.time)
+        assert order == ["a", "b", "c"]
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda t: order.append("low-pri"), priority=10)
+        q.push(1.0, lambda t: order.append("high-pri"), priority=0)
+        while (e := q.pop()) is not None:
+            e.callback(e.time)
+        assert order == ["high-pri", "low-pri"]
+
+    def test_fifo_for_equal_time_and_priority(self):
+        q = EventQueue()
+        order = []
+        for i in range(5):
+            q.push(1.0, lambda t, i=i: order.append(i))
+        while (e := q.pop()) is not None:
+            e.callback(e.time)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        fired = []
+        event = q.push(1.0, lambda t: fired.append("x"))
+        event.cancel()
+        assert q.pop() is None
+        assert fired == []
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda t: None)
+        q.push(2.0, lambda t: None)
+        assert len(q) == 2
+        e1.cancel()
+        assert len(q) == 1
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(4.0, lambda t: None)
+        q.push(2.0, lambda t: None)
+        assert q.peek_time() == 2.0
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, lambda t: None)
+
+
+class TestEngine:
+    def test_run_until_horizon_advances_clock(self):
+        engine = Engine()
+        engine.run(until=10.0)
+        assert engine.now == 10.0
+
+    def test_events_fire_at_their_times(self):
+        engine = Engine()
+        times = []
+        engine.at(1.0, times.append)
+        engine.at(2.5, times.append)
+        engine.run(until=5.0)
+        assert times == [1.0, 2.5]
+
+    def test_events_after_horizon_do_not_fire(self):
+        engine = Engine()
+        times = []
+        engine.at(7.0, times.append)
+        engine.run(until=5.0)
+        assert times == []
+        assert engine.now == 5.0
+
+    def test_after_schedules_relative(self):
+        engine = Engine()
+        times = []
+        engine.at(1.0, lambda t: engine.after(2.0, times.append))
+        engine.run(until=10.0)
+        assert times == [3.0]
+
+    def test_cannot_schedule_in_past(self):
+        engine = Engine()
+        engine.at(1.0, lambda t: None)
+        engine.run(until=5.0)
+        with pytest.raises(SimulationError):
+            engine.at(2.0, lambda t: None)
+
+    def test_every_fires_periodically(self):
+        engine = Engine()
+        times = []
+        engine.every(2.0, times.append)
+        engine.run(until=9.0)
+        assert times == [2.0, 4.0, 6.0, 8.0]
+
+    def test_every_with_until_stops(self):
+        engine = Engine()
+        times = []
+        engine.every(2.0, times.append, until=6.0)
+        engine.run(until=20.0)
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_every_cancel(self):
+        engine = Engine()
+        times = []
+        cancel = engine.every(1.0, times.append)
+        engine.at(3.5, lambda t: cancel())
+        engine.run(until=10.0)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_control_priority_runs_after_arrivals(self):
+        engine = Engine()
+        order = []
+        engine.at(1.0, lambda t: order.append("control"), priority=Engine.PRIORITY_CONTROL)
+        engine.at(1.0, lambda t: order.append("arrival"), priority=Engine.PRIORITY_ARRIVAL)
+        engine.run(until=2.0)
+        assert order == ["arrival", "control"]
+
+    def test_max_events_safety_valve(self):
+        engine = Engine()
+
+        def reschedule(t: float) -> None:
+            engine.after(0.1, reschedule)
+
+        engine.after(0.1, reschedule)
+        fired = engine.run(until=1e9, max_events=50)
+        assert fired == 50
+
+    def test_events_fired_counter(self):
+        engine = Engine()
+        engine.at(1.0, lambda t: None)
+        engine.at(2.0, lambda t: None)
+        engine.run(until=5.0)
+        assert engine.events_fired == 2
+
+
+class TestRandomStreams:
+    def test_same_seed_same_draws(self):
+        a = RandomStreams(7).stream("x").random(5)
+        b = RandomStreams(7).stream("x").random(5)
+        assert (a == b).all()
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(7)
+        a = streams.stream("a").random(5)
+        b = streams.stream("b").random(5)
+        assert not (a == b).all()
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(0)
+        assert streams.stream("s") is streams.stream("s")
+
+    def test_extra_draws_do_not_perturb_other_streams(self):
+        s1 = RandomStreams(3)
+        s1.stream("noisy").random(100)
+        val1 = s1.stream("quiet").random(3)
+        s2 = RandomStreams(3)
+        val2 = s2.stream("quiet").random(3)
+        assert (val1 == val2).all()
+
+    def test_spawn_is_deterministic_and_distinct(self):
+        root = RandomStreams(5)
+        child_a = root.spawn("trial")
+        child_b = RandomStreams(5).spawn("trial")
+        assert child_a.seed == child_b.seed
+        assert child_a.seed != root.seed
+
+    def test_contains(self):
+        streams = RandomStreams(0)
+        assert "x" not in streams
+        streams.stream("x")
+        assert "x" in streams

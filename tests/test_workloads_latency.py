@@ -1,0 +1,138 @@
+"""Tests for the generative latency model and request execution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStreams
+from repro.workloads.latency import LatencyModel
+from repro.workloads.request import build_execution
+from repro.workloads.spec import CallNode, ComponentSpec, ServpodSpec, chain
+
+from conftest import make_tiny_service
+
+
+@pytest.fixture
+def comp() -> ComponentSpec:
+    return ComponentSpec(
+        name="c", base_ms=10.0, sigma0=0.3, lin_growth=0.5,
+        sat_growth=0.8, sigma_growth=2.0, cov_knee=0.6,
+    )
+
+
+class TestComponentLatency:
+    def test_median_grows_with_load(self, comp):
+        medians = [LatencyModel.component_median_ms(comp, u) for u in (0.1, 0.5, 0.9)]
+        assert medians == sorted(medians)
+
+    def test_median_scales_with_slowdown(self, comp):
+        base = LatencyModel.component_median_ms(comp, 0.5)
+        slowed = LatencyModel.component_median_ms(comp, 0.5, slowdown=3.0)
+        assert slowed == pytest.approx(3 * base)
+
+    def test_slowdown_below_one_rejected(self, comp):
+        with pytest.raises(ConfigurationError):
+            LatencyModel.component_median_ms(comp, 0.5, slowdown=0.5)
+
+    def test_sigma_flat_below_knee(self, comp):
+        assert LatencyModel.component_sigma(comp, 0.1) == pytest.approx(
+            LatencyModel.component_sigma(comp, comp.cov_knee)
+        )
+
+    def test_sigma_rises_after_knee(self, comp):
+        at_knee = LatencyModel.component_sigma(comp, comp.cov_knee)
+        past = LatencyModel.component_sigma(comp, 0.95)
+        assert past > at_knee
+
+    def test_mean_exceeds_median(self, comp):
+        median = LatencyModel.component_median_ms(comp, 0.5)
+        mean = LatencyModel.component_mean_ms(comp, 0.5)
+        assert mean > median  # lognormal: mean = median * exp(sigma^2/2)
+
+    def test_cov_increases_with_load_past_knee(self, comp):
+        assert LatencyModel.component_cov(comp, 0.95) > LatencyModel.component_cov(comp, 0.3)
+
+    def test_load_bounds(self, comp):
+        with pytest.raises(ConfigurationError):
+            LatencyModel.component_median_ms(comp, 1.5)
+        with pytest.raises(ConfigurationError):
+            LatencyModel.component_median_ms(comp, -0.1)
+
+
+class TestServpodSampling:
+    def test_sample_matches_analytic_mean(self, comp):
+        pod = ServpodSpec("p", (comp,))
+        rng = RandomStreams(0).stream("t")
+        draws = LatencyModel.sample_servpod_ms(pod, 0.5, 20000, rng)
+        assert draws.mean() == pytest.approx(
+            LatencyModel.servpod_mean_ms(pod, 0.5), rel=0.03
+        )
+
+    def test_samples_positive(self, comp):
+        pod = ServpodSpec("p", (comp,))
+        rng = RandomStreams(0).stream("t")
+        assert (LatencyModel.sample_servpod_ms(pod, 0.9, 1000, rng) > 0).all()
+
+    def test_multi_component_pod_sums(self, comp):
+        solo = ServpodSpec("p", (comp,))
+        double = ServpodSpec(
+            "p2",
+            (comp, ComponentSpec(name="c2", base_ms=10.0, sigma0=0.3,
+                                 lin_growth=0.5, sat_growth=0.8)),
+        )
+        assert LatencyModel.servpod_mean_ms(double, 0.5) > LatencyModel.servpod_mean_ms(solo, 0.5)
+
+
+class TestBuildExecution:
+    def test_chain_e2e_is_sum_plus_hops(self):
+        root = chain("a", "b")
+        record = build_execution(root, lambda pod: 10.0, hop_ms=0.0)
+        assert record.e2e_ms == pytest.approx(20.0)
+
+    def test_hops_add_transit(self):
+        root = chain("a", "b")
+        record = build_execution(root, lambda pod: 10.0, hop_ms=1.0)
+        assert record.e2e_ms == pytest.approx(22.0)  # 2 hops on the a<->b edge
+
+    def test_parallel_takes_max(self):
+        sojourns = {"m": 2.0, "s1": 10.0, "s2": 4.0}
+        root = CallNode("m", children=(CallNode("s1"), CallNode("s2")), parallel=True)
+        record = build_execution(root, sojourns.__getitem__, hop_ms=0.0)
+        assert record.e2e_ms == pytest.approx(12.0)
+
+    def test_sequential_children_add(self):
+        sojourns = {"m": 2.0, "s1": 10.0, "s2": 4.0}
+        root = CallNode("m", children=(CallNode("s1"), CallNode("s2")), parallel=False)
+        record = build_execution(root, sojourns.__getitem__, hop_ms=0.0)
+        assert record.e2e_ms == pytest.approx(16.0)
+
+    def test_sojourn_attribution(self):
+        root = chain("a", "b", "c")
+        record = build_execution(root, lambda pod: 5.0, hop_ms=0.0)
+        assert record.sojourn_by_servpod() == pytest.approx(
+            {"a": 5.0, "b": 5.0, "c": 5.0}
+        )
+
+    def test_local_intervals_exclude_downstream_wait(self):
+        root = chain("a", "b")
+        record = build_execution(root, lambda pod: 10.0, split=0.5, hop_ms=0.0)
+        seg_a = next(s for s in record.segments if s.servpod == "a")
+        assert seg_a.sojourn_ms == pytest.approx(10.0)
+        assert seg_a.depart - seg_a.arrive == pytest.approx(20.0)  # incl. b's time
+
+    def test_parent_linkage(self):
+        root = chain("a", "b")
+        record = build_execution(root, lambda pod: 1.0)
+        by_pod = {s.servpod: s for s in record.segments}
+        assert by_pod["a"].parent_seg == -1
+        assert by_pod["b"].parent_seg == by_pod["a"].seg_id
+
+    def test_negative_sojourn_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_execution(chain("a"), lambda pod: -1.0)
+
+    def test_bad_split_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_execution(chain("a"), lambda pod: 1.0, split=1.5)

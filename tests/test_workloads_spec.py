@@ -1,0 +1,154 @@
+"""Tests for component/service specs and call trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.spec import (
+    CallNode,
+    ComponentSpec,
+    RequestType,
+    ServiceSpec,
+    ServpodSpec,
+    chain,
+    fanout,
+)
+
+from conftest import make_fanout_service, make_tiny_service
+
+
+class TestComponentSpec:
+    def test_valid_component(self):
+        comp = ComponentSpec(name="x", base_ms=5.0)
+        assert comp.base_ms == 5.0
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ConfigurationError):
+            ComponentSpec(name="x", base_ms=0.0)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ConfigurationError):
+            ComponentSpec(name="x", base_ms=1.0, sigma0=0.0)
+
+    def test_rejects_bad_knee(self):
+        with pytest.raises(ConfigurationError):
+            ComponentSpec(name="x", base_ms=1.0, cov_knee=1.0)
+
+    def test_rejects_negative_growth(self):
+        with pytest.raises(ConfigurationError):
+            ComponentSpec(name="x", base_ms=1.0, lin_growth=-0.1)
+
+    def test_rejects_util_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            ComponentSpec(name="x", base_ms=1.0, peak_core_util=1.5)
+
+
+class TestServpodSpec:
+    def test_cores_sum(self):
+        pod = ServpodSpec(
+            "p",
+            (ComponentSpec(name="a", base_ms=1.0, cores=3),
+             ComponentSpec(name="b", base_ms=1.0, cores=5)),
+        )
+        assert pod.cores == 8
+
+    def test_component_lookup(self):
+        pod = ServpodSpec("p", (ComponentSpec(name="a", base_ms=1.0),))
+        assert pod.component("a").name == "a"
+        with pytest.raises(ConfigurationError):
+            pod.component("b")
+
+    def test_empty_pod_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServpodSpec("p", ())
+
+    def test_duplicate_components_rejected(self):
+        comp = ComponentSpec(name="a", base_ms=1.0)
+        with pytest.raises(ConfigurationError):
+            ServpodSpec("p", (comp, comp))
+
+
+class TestCallTrees:
+    def test_chain_structure(self):
+        root = chain("a", "b", "c")
+        assert root.servpod == "a"
+        assert root.children[0].servpod == "b"
+        assert root.children[0].children[0].servpod == "c"
+        assert not root.parallel
+
+    def test_chain_needs_one(self):
+        with pytest.raises(ConfigurationError):
+            chain()
+
+    def test_fanout_structure(self):
+        root = fanout("m", chain("s1"), chain("s2"))
+        assert root.parallel
+        assert {c.servpod for c in root.children} == {"s1", "s2"}
+
+    def test_fanout_needs_branch(self):
+        with pytest.raises(ConfigurationError):
+            fanout("m")
+
+    def test_servpods_enumeration(self):
+        root = fanout("m", chain("a", "b"), chain("c"))
+        assert sorted(root.servpods()) == ["a", "b", "c", "m"]
+
+
+class TestServiceSpec:
+    def test_tiny_service_valid(self):
+        spec = make_tiny_service()
+        assert spec.servpod_names == ["front", "back"]
+
+    def test_servpod_lookup(self):
+        spec = make_tiny_service()
+        assert spec.servpod("back").name == "back"
+        with pytest.raises(ConfigurationError):
+            spec.servpod("middle")
+
+    def test_unknown_servpod_in_path_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceSpec(
+                name="bad",
+                domain="d",
+                servpods=(ServpodSpec("a", (ComponentSpec(name="c", base_ms=1.0),)),),
+                request_types=(RequestType("r", 1.0, chain("a", "ghost")),),
+                max_load_qps=100.0,
+                sla_ms=10.0,
+            )
+
+    def test_duplicate_servpods_rejected(self):
+        pod = ServpodSpec("a", (ComponentSpec(name="c", base_ms=1.0),))
+        with pytest.raises(ConfigurationError):
+            ServiceSpec(
+                name="bad", domain="d", servpods=(pod, pod),
+                request_types=(RequestType("r", 1.0, chain("a")),),
+                max_load_qps=100.0, sla_ms=10.0,
+            )
+
+    def test_weights_normalize(self):
+        spec = make_fanout_service()
+        weights = spec.normalized_weights()
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RequestType("r", 0.0, CallNode("a"))
+
+    def test_bad_sla_rejected(self):
+        pod = ServpodSpec("a", (ComponentSpec(name="c", base_ms=1.0),))
+        with pytest.raises(ConfigurationError):
+            ServiceSpec(
+                name="bad", domain="d", servpods=(pod,),
+                request_types=(RequestType("r", 1.0, chain("a")),),
+                max_load_qps=100.0, sla_ms=0.0,
+            )
+
+    def test_tail_percentile_range(self):
+        pod = ServpodSpec("a", (ComponentSpec(name="c", base_ms=1.0),))
+        with pytest.raises(ConfigurationError):
+            ServiceSpec(
+                name="bad", domain="d", servpods=(pod,),
+                request_types=(RequestType("r", 1.0, chain("a")),),
+                max_load_qps=100.0, sla_ms=10.0, tail_percentile=100.0,
+            )
