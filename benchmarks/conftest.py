@@ -6,7 +6,8 @@ expectations listed in DESIGN.md §4. Expensive grids that feed several
 figures (9-11 share one grid; 12-14 share another) are computed once per
 session and cached here.
 
-Run with ``pytest benchmarks/ --benchmark-only``.
+Run with ``pytest benchmarks/ --benchmark-only``. Grid cells fan out to
+the parallel grid engine; set ``RHYTHM_WORKERS`` to bound the pool.
 """
 
 from __future__ import annotations
@@ -25,12 +26,16 @@ from repro.experiments.figures.figure9_11 import (
 from repro.experiments.figures.figure12_14 import ServiceCell, run_service_grid
 from repro.experiments.figures.figure15 import ProductionCell, run_figure15
 from repro.experiments.runner import clear_rhythm_cache
+from repro.parallel.grid import resolve_workers
 
 #: Loads used by the constant-load grids (the paper's x-axis).
 GRID_LOADS = (0.05, 0.25, 0.45, 0.65, 0.85)
 
 #: Per-cell run length for constant-load grids (simulation seconds).
 GRID_CONFIG = ColocationConfig(duration_s=60.0)
+
+#: Pool size for the shared grids (RHYTHM_WORKERS env var, else CPUs).
+GRID_WORKERS = resolve_workers()
 
 _cache: Dict[str, object] = {}
 
@@ -43,6 +48,7 @@ def servpod_grid() -> List[ServpodCell]:
             be_specs=evaluation_be_jobs(),
             loads=GRID_LOADS,
             config=GRID_CONFIG,
+            workers=GRID_WORKERS,
         )
     return _cache["servpod"]
 
@@ -51,7 +57,7 @@ def service_grid() -> List[ServiceCell]:
     """The Figures 12-14 grid (cached once per session)."""
     if "service" not in _cache:
         _cache["service"] = run_service_grid(
-            loads=GRID_LOADS, config=GRID_CONFIG
+            loads=GRID_LOADS, config=GRID_CONFIG, workers=GRID_WORKERS
         )
     return _cache["service"]
 
@@ -59,7 +65,7 @@ def service_grid() -> List[ServiceCell]:
 def production_grid() -> List[ProductionCell]:
     """The Figure 15 production grid (cached once per session)."""
     if "production" not in _cache:
-        _cache["production"] = run_figure15()
+        _cache["production"] = run_figure15(workers=GRID_WORKERS)
     return _cache["production"]
 
 

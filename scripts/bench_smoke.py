@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Fast regression gate for the parallel grid engine.
+
+Runs, in order:
+
+1. a tiny parallel grid (1 service, 2 BE jobs, 2 loads, 20 simulated
+   seconds per cell) twice — inline and on a 2-worker pool — and asserts
+   the results are bit-identical, then
+2. the tier-1 test suite (``pytest -x -q`` over ``tests/``).
+
+Exit code is non-zero on any failure, so CI can gate pool-runner
+regressions without paying for the full figure grids. Usage::
+
+    PYTHONPATH=src python scripts/bench_smoke.py [--skip-tests]
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def smoke_parallel_grid() -> None:
+    """The tiny serial-vs-pool identity check."""
+    from repro.bejobs.catalog import evaluation_be_jobs
+    from repro.experiments.colocation import ColocationConfig
+    from repro.parallel.grid import (
+        GridCell,
+        comparison_fingerprint,
+        profile_services,
+        run_comparison_grid,
+    )
+    from repro.workloads.catalog import LC_CATALOG
+
+    spec = LC_CATALOG["Redis"]()
+    cells = [
+        GridCell(spec, be, load, seed=0)
+        for be in evaluation_be_jobs()[:2]
+        for load in (0.25, 0.65)
+    ]
+    config = ColocationConfig(duration_s=20.0)
+    # The analytic slacklimit fixed point skips the expensive SLA probe;
+    # the pool mechanics under test are identical either way.
+    artifacts = profile_services(cells, probe_slacklimits=False)
+    t0 = time.perf_counter()
+    serial = run_comparison_grid(
+        cells, config=config, workers=1, artifacts=artifacts
+    )
+    pooled = run_comparison_grid(
+        cells, config=config, workers=2, artifacts=artifacts
+    )
+    elapsed = time.perf_counter() - t0
+    if [comparison_fingerprint(r) for r in serial] != [
+        comparison_fingerprint(r) for r in pooled
+    ]:
+        raise AssertionError("pool results diverged from the serial run")
+    events = sum(r.rhythm.events_fired + r.heracles.events_fired for r in serial)
+    print(
+        f"smoke grid OK: {2 * len(cells)} simulations x2 paths, "
+        f"{events} events, bit-identical, {elapsed:.1f}s"
+    )
+
+
+def run_tier1() -> int:
+    """The repo's tier-1 suite, exactly as the roadmap invokes it."""
+    env = dict(**__import__("os").environ)
+    env["PYTHONPATH"] = (
+        f"{SRC}:{env['PYTHONPATH']}" if env.get("PYTHONPATH") else str(SRC)
+    )
+    return subprocess.call(
+        [sys.executable, "-m", "pytest", "-x", "-q"], cwd=REPO_ROOT, env=env
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--skip-tests", action="store_true",
+        help="only run the parallel-grid smoke, not the tier-1 suite",
+    )
+    args = parser.parse_args()
+    sys.path.insert(0, str(SRC))
+    smoke_parallel_grid()
+    if args.skip_tests:
+        return 0
+    return run_tier1()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

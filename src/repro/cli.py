@@ -7,14 +7,19 @@ Exposes the library's main entry points without writing Python::
     python -m repro compare E-commerce stream-dram --load 0.85
     python -m repro production E-commerce stream-dram --duration 600
     python -m repro trace E-commerce --requests 100
+    python -m repro grid service --workers 4  # a figure grid, in parallel
 
-Every command prints the same text tables the benchmarks produce.
+Every command prints the same text tables the benchmarks produce. Grid
+commands fan cells out to the parallel grid engine (worker count from
+``--workers``, the ``RHYTHM_WORKERS`` env var, or the CPU count).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from dataclasses import asdict
 from typing import List, Optional
 
 from repro.bejobs.catalog import BE_CATALOG, be_job_spec
@@ -172,6 +177,80 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_grid(args: argparse.Namespace) -> int:
+    """Run one of the evaluation grids on the parallel engine."""
+    from repro.experiments.figures.figure9_11 import (
+        SHOWCASED_SERVPODS,
+        average_gain,
+        run_servpod_grid,
+    )
+    from repro.experiments.figures.figure12_14 import (
+        improvement_table,
+        run_service_grid,
+    )
+    from repro.experiments.figures.figure15 import run_figure15, worst_safety_cell
+    from repro.parallel.grid import resolve_workers
+
+    workers = resolve_workers(args.workers)
+    for name in args.services or ():
+        lc_service_spec(name)  # fail fast; grids only take catalog services
+    be_specs = [be_job_spec(name) for name in args.be_jobs] if args.be_jobs else None
+    loads = tuple(args.loads) if args.loads else (0.05, 0.25, 0.45, 0.65, 0.85)
+    config = ColocationConfig(duration_s=args.duration)
+
+    if args.kind == "servpod":
+        servpods = [
+            pair for pair in SHOWCASED_SERVPODS
+            if not args.services or pair[0] in args.services
+        ]
+        rows = run_servpod_grid(
+            servpods=servpods, be_specs=be_specs, loads=loads,
+            seed=args.seed, config=config, workers=workers,
+        )
+        print(render_table(
+            ["Servpod", "BE tput gain", "CPU gain", "MemBW gain"],
+            [[pod,
+              f"{average_gain(rows, pod, 'be_throughput'):+.3f}",
+              f"{average_gain(rows, pod, 'cpu_utilisation'):+.1%}",
+              f"{average_gain(rows, pod, 'membw_utilisation'):+.1%}"]
+             for _, pod in servpods],
+            title=f"Figures 9-11 grid — {len(rows)} rows, {workers} workers",
+        ))
+    elif args.kind == "service":
+        rows = run_service_grid(
+            services=args.services or None, be_specs=be_specs, loads=loads,
+            seed=args.seed, config=config, workers=workers,
+        )
+        emu = improvement_table(rows, "emu_improvement")
+        cpu = improvement_table(rows, "cpu_improvement")
+        membw = improvement_table(rows, "membw_improvement")
+        print(render_table(
+            ["Service", "EMU impr", "CPU impr", "MemBW impr"],
+            [[svc, f"{emu[svc]:+.1%}", f"{cpu[svc]:+.1%}", f"{membw[svc]:+.1%}"]
+             for svc in sorted(emu)],
+            title=f"Figures 12-14 grid — {len(rows)} cells, {workers} workers",
+        ))
+    else:  # production
+        rows = run_figure15(
+            services=args.services or None, be_specs=be_specs,
+            duration_s=args.duration, seed=args.seed, workers=workers,
+        )
+        worst = worst_safety_cell(rows)
+        print(render_table(
+            ["Service", "BE job", "EMU impr", "worst p99/SLA", "kills"],
+            [[r.service, r.be_job, f"{r.emu_improvement:+.1%}",
+              f"{r.worst_p99_over_sla:.2f}", r.be_kills] for r in rows],
+            title=f"Figure 15 production grid — {workers} workers",
+        ))
+        print(f"worst safety cell: {worst.service}+{worst.be_job} "
+              f"at {worst.worst_p99_over_sla:.2f}x SLA")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump([asdict(r) for r in rows], fh, indent=2)
+        print(f"wrote {len(rows)} rows to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser."""
     parser = argparse.ArgumentParser(
@@ -204,6 +283,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=600.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_production)
+
+    p = sub.add_parser("grid", help="run an evaluation grid in parallel")
+    p.add_argument("kind", choices=["servpod", "service", "production"],
+                   help="servpod=Figs 9-11, service=Figs 12-14, "
+                        "production=Fig 15")
+    p.add_argument("--services", nargs="*", default=None,
+                   help="restrict to these LC services")
+    p.add_argument("--be-jobs", nargs="*", default=None,
+                   help="restrict to these BE jobs")
+    p.add_argument("--loads", nargs="*", type=float, default=None,
+                   help="load grid points (fractions of MaxLoad)")
+    p.add_argument("--duration", type=float, default=60.0,
+                   help="per-cell simulated seconds")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (default: RHYTHM_WORKERS or CPUs)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", default=None, help="also dump rows to this file")
+    p.set_defaults(fn=cmd_grid)
 
     p = sub.add_parser("trace", help="trace requests and recover sojourns")
     p.add_argument("service")

@@ -42,7 +42,7 @@ from repro.interference.model import InterferenceModel, Pressure
 from repro.loadgen.generator import WindowLoadGenerator
 from repro.loadgen.patterns import LoadPattern
 from repro.metrics.collector import MachineMetrics
-from repro.metrics.percentile import percentile
+from repro.metrics.percentile import HistogramTailTracker, percentile
 from repro.sim.engine import Engine
 from repro.sim.rng import RandomStreams
 from repro.workloads.service import Service, ServiceState
@@ -67,7 +67,19 @@ class ColocationConfig:
     base_machine: Optional[MachineSpec] = None
     #: CutBE escalation toggle (see CpuLlcSubcontroller; ablation knob).
     cut_escalation: bool = True
+    #: Per-window tail estimator: "exact" sorts the window's samples
+    #: (np.percentile); "histogram" streams them through a fixed-bin
+    #: :class:`~repro.metrics.percentile.HistogramTailTracker` (O(1) per
+    #: sample, bounded relative error — see its docstring).
+    tail_estimator: str = "exact"
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tail_estimator not in ("exact", "histogram"):
+            raise ExperimentError(
+                f"tail_estimator must be 'exact' or 'histogram', "
+                f"got {self.tail_estimator!r}"
+            )
 
 
 @dataclass
@@ -94,6 +106,9 @@ class ColocationResult:
     be_suspensions: int
     sla_violations: int
     worst_tail_ms: float
+    #: Simulation-kernel events executed during the run (throughput
+    #: denominator for the parallel-engine benchmarks).
+    events_fired: int = 0
 
     @property
     def be_throughput(self) -> float:
@@ -166,6 +181,11 @@ class ColocationExperiment:
             min_samples=self.config.min_samples,
             burst_sigma=self.config.burst_sigma,
         )
+        self._tail_estimator = (
+            HistogramTailTracker(service.tail_percentile)
+            if self.config.tail_estimator == "histogram"
+            else None
+        )
         self._cpu_llc = CpuLlcSubcontroller(escalate_cut=self.config.cut_escalation)
         self._frequency = FrequencySubcontroller()
         self._memory = MemorySubcontroller()
@@ -210,7 +230,9 @@ class ColocationExperiment:
             until=cfg.duration_s,
         )
         engine.run(until=cfg.duration_s)
-        return self._result(load_sum[0] / max(1, ticks[0]))
+        return self._result(
+            load_sum[0] / max(1, ticks[0]), events_fired=engine.events_fired
+        )
 
     def _tick(self, t: float, dt: float) -> None:
         window = self._generator.window(t - dt, dt)
@@ -239,16 +261,24 @@ class ColocationExperiment:
             slowdowns[pod] = slowdown
             inflations[pod] = self.config.interference.sigma_inflation(slowdown)
 
-        # Phase 2: observe latency under the current interference.
+        # Phase 2: observe latency under the current interference. The
+        # window tail is computed once here and shared by the controllers
+        # and every machine's metrics — re-sorting the same samples per
+        # machine was the old hot path.
         state = ServiceState(slowdowns=slowdowns, sigma_inflations=inflations)
         if window.n_samples > 0:
             latencies = self.service.sample_e2e(realized, window.n_samples, state)
-            tail_ms = float(
-                percentile(latencies, self.spec.tail_percentile)
-            )
+            if self._tail_estimator is not None:
+                self._tail_estimator.add_samples(latencies)
+                tail_ms = float(self._tail_estimator.roll_window() or 0.0)
+            else:
+                tail_ms = float(
+                    percentile(latencies, self.spec.tail_percentile)
+                )
+            window_closed = True
         else:
-            latencies = np.array([])
             tail_ms = 0.0
+            window_closed = False
 
         # Phase 3: BE progress over this period.
         for pod, run in self._runs.items():
@@ -265,8 +295,8 @@ class ColocationExperiment:
             action = run.controller.decide(load, tail_ms, t=t)
             run.last_action = action
             run.last_snapshot = snapshot
-            run.metrics.tail.add_samples(latencies.tolist())
-            run.metrics.tail.roll_window()
+            if window_closed:
+                run.metrics.tail.record_window_tail(tail_ms)
             run.metrics.record_tick(
                 t=t,
                 dt=dt,
@@ -286,7 +316,9 @@ class ColocationExperiment:
                 machine, usage.busy_cores, machine.be_total_cores
             )
 
-    def _result(self, lc_load_mean: float) -> ColocationResult:
+    def _result(
+        self, lc_load_mean: float, events_fired: int = 0
+    ) -> ColocationResult:
         machines = {pod: run.metrics for pod, run in self._runs.items()}
         for pod, run in self._runs.items():
             # Finished-work throughput: kills already clawed back their
@@ -309,6 +341,7 @@ class ColocationExperiment:
             ),
             sla_violations=first.sla_violations,
             worst_tail_ms=max(m.worst_tail_ms for m in machines.values()),
+            events_fired=events_fired,
         )
 
 

@@ -19,7 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.bejobs.catalog import evaluation_be_jobs
 from repro.bejobs.spec import BeJobSpec
 from repro.experiments.colocation import ColocationConfig
-from repro.experiments.runner import ComparisonResult, compare_systems
+from repro.parallel.grid import GridCell, run_comparison_grid
 from repro.workloads.catalog import LC_CATALOG
 from repro.workloads.spec import ServiceSpec
 
@@ -69,36 +69,41 @@ def run_service_grid(
     seed: int = 0,
     config: Optional[ColocationConfig] = None,
     service_builder: Optional[Callable[[str], ServiceSpec]] = None,
+    workers: Optional[int] = None,
 ) -> List[ServiceCell]:
-    """Run the Figures 12-14 grid; one row per (service, BE, load)."""
+    """Run the Figures 12-14 grid; one row per (service, BE, load).
+
+    Cells run on the parallel grid engine (``workers`` as in
+    :func:`repro.parallel.grid.resolve_workers`); results are identical
+    for any worker count.
+    """
     service_names = list(services) if services is not None else list(LC_CATALOG)
     be_specs = list(be_specs) if be_specs is not None else evaluation_be_jobs()
     builder = service_builder or (lambda name: LC_CATALOG[name]())
     config = config or ColocationConfig(duration_s=60.0)
-    rows: List[ServiceCell] = []
+    cells: List[GridCell] = []
     for service_name in service_names:
         spec = builder(service_name)
         for be in be_specs:
             for load in loads:
-                cmp: ComparisonResult = compare_systems(
-                    spec, be, load, seed=seed, config=config
-                )
-                rows.append(
-                    ServiceCell(
-                        service=service_name,
-                        be_job=be.name,
-                        load=load,
-                        emu_rhythm=cmp.rhythm.emu,
-                        emu_heracles=cmp.heracles.emu,
-                        cpu_rhythm=cmp.rhythm.cpu_utilisation,
-                        cpu_heracles=cmp.heracles.cpu_utilisation,
-                        membw_rhythm=cmp.rhythm.membw_utilisation,
-                        membw_heracles=cmp.heracles.membw_utilisation,
-                        rhythm_violations=cmp.rhythm.sla_violations,
-                        heracles_violations=cmp.heracles.sla_violations,
-                    )
-                )
-    return rows
+                cells.append(GridCell(spec, be, load, seed=seed))
+    comparisons = run_comparison_grid(cells, config=config, workers=workers)
+    return [
+        ServiceCell(
+            service=cell.service.name,
+            be_job=cell.be_spec.name,
+            load=cell.load,
+            emu_rhythm=cmp.rhythm.emu,
+            emu_heracles=cmp.heracles.emu,
+            cpu_rhythm=cmp.rhythm.cpu_utilisation,
+            cpu_heracles=cmp.heracles.cpu_utilisation,
+            membw_rhythm=cmp.rhythm.membw_utilisation,
+            membw_heracles=cmp.heracles.membw_utilisation,
+            rhythm_violations=cmp.rhythm.sla_violations,
+            heracles_violations=cmp.heracles.sla_violations,
+        )
+        for cell, cmp in zip(cells, comparisons)
+    ]
 
 
 def average_improvement(

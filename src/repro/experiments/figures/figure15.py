@@ -18,8 +18,8 @@ from typing import Callable, List, Optional, Sequence
 from repro.bejobs.catalog import evaluation_be_jobs
 from repro.bejobs.spec import BeJobSpec
 from repro.experiments.colocation import ColocationConfig
-from repro.experiments.runner import compare_systems
 from repro.loadgen.clarknet import clarknet_production_load
+from repro.parallel.grid import GridCell, run_comparison_grid
 from repro.loadgen.patterns import LoadPattern
 from repro.workloads.catalog import LC_CATALOG
 from repro.workloads.spec import ServiceSpec
@@ -47,37 +47,42 @@ def run_figure15(
     pattern: Optional[LoadPattern] = None,
     config: Optional[ColocationConfig] = None,
     service_builder: Optional[Callable[[str], ServiceSpec]] = None,
+    workers: Optional[int] = None,
 ) -> List[ProductionCell]:
     """Run the production-load grid; one row per (service, BE) cell.
 
     The production pattern compresses five synthetic ClarkNet days into
     ``duration_s`` (the paper compresses five real days into six hours).
+    Cells run on the parallel grid engine (``workers`` as in
+    :func:`repro.parallel.grid.resolve_workers`).
     """
     service_names = list(services) if services is not None else list(LC_CATALOG)
     be_specs = list(be_specs) if be_specs is not None else evaluation_be_jobs()
     builder = service_builder or (lambda name: LC_CATALOG[name]())
     pattern = pattern or clarknet_production_load(duration_s=duration_s, days=1)
     config = config or ColocationConfig(duration_s=duration_s)
-    rows: List[ProductionCell] = []
+    cells: List[GridCell] = []
+    sla_by_service: dict = {}
     for service_name in service_names:
         spec = builder(service_name)
+        sla_by_service[service_name] = spec.sla_ms
         for be in be_specs:
-            cmp = compare_systems(
-                spec, be, load=0.5, seed=seed, config=config, pattern=pattern
-            )
-            rows.append(
-                ProductionCell(
-                    service=service_name,
-                    be_job=be.name,
-                    emu_improvement=cmp.emu_improvement,
-                    cpu_improvement=cmp.cpu_improvement,
-                    membw_improvement=cmp.membw_improvement,
-                    worst_p99_over_sla=cmp.rhythm.worst_tail_ms / spec.sla_ms,
-                    rhythm_violations=cmp.rhythm.sla_violations,
-                    be_kills=cmp.rhythm.be_kills,
-                )
-            )
-    return rows
+            cells.append(GridCell(spec, be, load=0.5, seed=seed, pattern=pattern))
+    comparisons = run_comparison_grid(cells, config=config, workers=workers)
+    return [
+        ProductionCell(
+            service=cell.service.name,
+            be_job=cell.be_spec.name,
+            emu_improvement=cmp.emu_improvement,
+            cpu_improvement=cmp.cpu_improvement,
+            membw_improvement=cmp.membw_improvement,
+            worst_p99_over_sla=cmp.rhythm.worst_tail_ms
+            / sla_by_service[cell.service.name],
+            rhythm_violations=cmp.rhythm.sla_violations,
+            be_kills=cmp.rhythm.be_kills,
+        )
+        for cell, cmp in zip(cells, comparisons)
+    ]
 
 
 def worst_safety_cell(rows: Sequence[ProductionCell]) -> ProductionCell:

@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.bejobs.catalog import evaluation_be_jobs
 from repro.bejobs.spec import BeJobSpec
 from repro.experiments.colocation import ColocationConfig
-from repro.experiments.runner import compare_systems
+from repro.parallel.grid import GridCell, run_comparison_grid
 from repro.workloads.catalog import LC_CATALOG
 from repro.workloads.spec import ServiceSpec
 
@@ -59,35 +59,46 @@ def run_servpod_grid(
     seed: int = 0,
     config: Optional[ColocationConfig] = None,
     service_builder: Optional[Callable[[str], ServiceSpec]] = None,
+    workers: Optional[int] = None,
 ) -> List[ServpodCell]:
-    """Run the full Figures 9-11 grid; returns one row per cell/system."""
+    """Run the full Figures 9-11 grid; returns one row per cell/system.
+
+    Cells fan out to the parallel grid engine; ``workers`` resolves via
+    :func:`repro.parallel.grid.resolve_workers` (``RHYTHM_WORKERS`` env
+    var, then CPU count). Results are identical for any worker count.
+    """
     be_specs = list(be_specs) if be_specs is not None else evaluation_be_jobs()
     builder = service_builder or (lambda name: LC_CATALOG[name]())
     config = config or ColocationConfig(duration_s=60.0)
     specs: Dict[str, ServiceSpec] = {}
-    rows: List[ServpodCell] = []
+    cells: List[GridCell] = []
+    coords: List[Tuple[str, str]] = []
     for service_name, pod in servpods:
         spec = specs.setdefault(service_name, builder(service_name))
         for be in be_specs:
             for load in loads:
-                cmp = compare_systems(spec, be, load, seed=seed, config=config)
-                for system, result in (
-                    ("Rhythm", cmp.rhythm),
-                    ("Heracles", cmp.heracles),
-                ):
-                    metrics = result.machine(pod)
-                    rows.append(
-                        ServpodCell(
-                            service=service_name,
-                            servpod=pod,
-                            be_job=be.name,
-                            load=load,
-                            system=system,
-                            be_throughput=metrics.avg_be_throughput,
-                            cpu_utilisation=metrics.avg_cpu_utilisation,
-                            membw_utilisation=metrics.avg_membw_utilisation,
-                        )
-                    )
+                cells.append(GridCell(spec, be, load, seed=seed))
+                coords.append((service_name, pod))
+    comparisons = run_comparison_grid(cells, config=config, workers=workers)
+    rows: List[ServpodCell] = []
+    for (service_name, pod), cell, cmp in zip(coords, cells, comparisons):
+        for system, result in (
+            ("Rhythm", cmp.rhythm),
+            ("Heracles", cmp.heracles),
+        ):
+            metrics = result.machine(pod)
+            rows.append(
+                ServpodCell(
+                    service=service_name,
+                    servpod=pod,
+                    be_job=cell.be_spec.name,
+                    load=cell.load,
+                    system=system,
+                    be_throughput=metrics.avg_be_throughput,
+                    cpu_utilisation=metrics.avg_cpu_utilisation,
+                    membw_utilisation=metrics.avg_membw_utilisation,
+                )
+            )
     return rows
 
 

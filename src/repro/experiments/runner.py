@@ -26,8 +26,9 @@ from repro.loadgen.patterns import ConstantLoad, LoadPattern
 from repro.sim.rng import RandomStreams
 from repro.workloads.spec import ServiceSpec
 
-#: Cache of Rhythm pipelines keyed by (service name, seed, profiling mode).
-_RHYTHM_CACHE: Dict[Tuple[str, int, str], Rhythm] = {}
+#: Cache of Rhythm pipelines keyed by
+#: (service name, seed, profiling mode, probe_slacklimits).
+_RHYTHM_CACHE: Dict[Tuple[str, int, str, bool], Rhythm] = {}
 
 
 def get_rhythm(

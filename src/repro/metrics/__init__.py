@@ -1,7 +1,10 @@
 """Measurement utilities: percentiles, time series, EMU and collectors.
 
 - :mod:`repro.metrics.percentile` — tail-latency estimation (windowed
-  percentiles, reservoir sampling for long streams),
+  percentiles, fixed-bin streaming histograms, reservoir sampling for
+  long streams),
+- :mod:`repro.metrics.streaming` — single-pass Welford/Chan moment
+  accumulators,
 - :mod:`repro.metrics.timeseries` — timestamped series with summaries,
 - :mod:`repro.metrics.emu` — the paper's EMU (effective machine
   utilisation) metric and resource-utilisation accumulators,
@@ -9,13 +12,21 @@
   used by the experiment harness.
 """
 
-from repro.metrics.percentile import ReservoirSampler, WindowedTailTracker, percentile
+from repro.metrics.percentile import (
+    HistogramTailTracker,
+    ReservoirSampler,
+    WindowedTailTracker,
+    percentile,
+)
+from repro.metrics.streaming import WelfordAccumulator
 from repro.metrics.timeseries import TimeSeries
 from repro.metrics.emu import EmuAccumulator, UtilisationAccumulator
 from repro.metrics.collector import MachineMetrics, TickSample
 
 __all__ = [
+    "HistogramTailTracker",
     "ReservoirSampler",
+    "WelfordAccumulator",
     "WindowedTailTracker",
     "percentile",
     "TimeSeries",

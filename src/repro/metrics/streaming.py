@@ -1,0 +1,97 @@
+"""Streaming (single-pass, O(1)-memory) moment accumulators.
+
+The profiler and tracer summarise hundreds of thousands of per-request
+sojourns; recomputing mean/variance with a two-pass formula over stored
+lists is the hot path the parallel grid engine avoids. Welford's update
+is numerically stable and needs one pass; Chan et al.'s pairwise merge
+lets per-worker accumulators combine without losing precision, which is
+what makes the statistics shardable across the process pool.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+
+class WelfordAccumulator:
+    """Welford/Chan streaming mean and variance.
+
+    ``add`` is the classic O(1) single-sample update; ``add_many``
+    ingests a batch with vectorised numpy moments and merges them in one
+    Chan-style combine, so large batches cost one pass instead of a
+    Python-level loop.
+    """
+
+    __slots__ = ("_count", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        """Ingest one sample (Welford's update)."""
+        self._count += 1
+        delta = float(value) - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (float(value) - self._mean)
+
+    def add_many(self, values: Iterable[float]) -> None:
+        """Ingest a batch of samples in one vectorised pass."""
+        arr = np.asarray(
+            values if isinstance(values, np.ndarray) else list(values), dtype=float
+        )
+        n = int(arr.size)
+        if n == 0:
+            return
+        if n == 1:
+            self.add(float(arr[0]))
+            return
+        batch_mean = float(arr.mean())
+        batch_m2 = float(((arr - batch_mean) ** 2).sum())
+        self._merge_moments(n, batch_mean, batch_m2)
+
+    def merge(self, other: "WelfordAccumulator") -> None:
+        """Fold another accumulator into this one (Chan's combine)."""
+        self._merge_moments(other._count, other._mean, other._m2)
+
+    def _merge_moments(self, n: int, mean: float, m2: float) -> None:
+        if n == 0:
+            return
+        total = self._count + n
+        delta = mean - self._mean
+        self._mean += delta * n / total
+        self._m2 += m2 + delta * delta * self._count * n / total
+        self._count = total
+
+    @property
+    def count(self) -> int:
+        """Samples ingested so far."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Running mean (0.0 before any sample)."""
+        return self._mean
+
+    def variance(self, ddof: int = 1) -> float:
+        """Running variance; 0.0 when fewer than ``ddof + 1`` samples."""
+        if self._count <= ddof:
+            return 0.0
+        return self._m2 / (self._count - ddof)
+
+    def std(self, ddof: int = 1) -> float:
+        """Running standard deviation."""
+        return math.sqrt(self.variance(ddof))
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:
+        return (
+            f"WelfordAccumulator(count={self._count}, mean={self._mean:.6g}, "
+            f"std={self.std():.6g})"
+        )

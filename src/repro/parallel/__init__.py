@@ -1,0 +1,32 @@
+"""Parallel grid execution: profile once, fan cells out to a pool.
+
+- :mod:`repro.parallel.artifact` — frozen, picklable
+  :class:`~repro.parallel.artifact.RhythmArtifact` profiling artifacts,
+- :mod:`repro.parallel.grid` — the process-pool grid engine with
+  deterministic per-cell seeding and result fingerprints.
+"""
+
+from repro.parallel.artifact import RhythmArtifact, artifact_for
+from repro.parallel.grid import (
+    WORKERS_ENV_VAR,
+    GridCell,
+    colocation_fingerprint,
+    comparison_fingerprint,
+    derive_cell_seed,
+    profile_services,
+    resolve_workers,
+    run_comparison_grid,
+)
+
+__all__ = [
+    "WORKERS_ENV_VAR",
+    "GridCell",
+    "RhythmArtifact",
+    "artifact_for",
+    "colocation_fingerprint",
+    "comparison_fingerprint",
+    "derive_cell_seed",
+    "profile_services",
+    "resolve_workers",
+    "run_comparison_grid",
+]

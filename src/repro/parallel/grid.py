@@ -1,0 +1,290 @@
+"""The parallel grid execution engine.
+
+The paper's evaluation is dominated by grids: Figures 9–11 alone are
+5 Servpods × 6 BE jobs × 5 loads, each cell simulated once under Rhythm
+and once under Heracles. Cells are mutually independent by construction
+(each builds its own engine, RNG registry and machines from a cell seed),
+so the grid is embarrassingly parallel — *provided* the profiling
+artifacts can cross a process boundary. The flow is:
+
+1. the parent profiles every distinct service once (reusing the
+   in-process Rhythm cache) and freezes a picklable
+   :class:`~repro.parallel.artifact.RhythmArtifact` per service,
+2. cells fan out to a process pool as :class:`GridCell` tasks carrying
+   only specs, artifacts and seeds,
+3. each worker rebuilds the controllers from the artifact and runs the
+   cell exactly as the serial path would.
+
+Determinism: a cell's simulation consumes only its own
+``RandomStreams(cell.seed)``, so results are bit-identical no matter
+which worker runs the cell or in which order cells complete —
+``run_comparison_grid(cells, workers=1)`` and ``workers=N`` return
+identical results (asserted in ``tests/test_parallel.py``).
+
+Worker count resolves from the ``RHYTHM_WORKERS`` environment variable,
+falling back to ``os.cpu_count()``. ``workers=1`` (or a single cell)
+runs inline without a pool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.baselines.heracles import HeraclesPolicy, heracles_controllers
+from repro.bejobs.spec import BeJobSpec
+from repro.errors import ExperimentError
+from repro.experiments.colocation import ColocationConfig, ColocationResult
+from repro.experiments.runner import ComparisonResult, run_cell
+from repro.loadgen.patterns import ConstantLoad, LoadPattern
+from repro.parallel.artifact import RhythmArtifact, artifact_for
+from repro.workloads.spec import ServiceSpec
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV_VAR = "RHYTHM_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count.
+
+    Explicit ``workers`` wins; otherwise the ``RHYTHM_WORKERS``
+    environment variable; otherwise ``os.cpu_count()``. Always >= 1.
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ExperimentError(
+                    f"{WORKERS_ENV_VAR} must be an integer, got {env!r}"
+                ) from None
+        else:
+            workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+def derive_cell_seed(
+    root_seed: int, service: str, be_job: str, load: float, salt: str = "cell"
+) -> int:
+    """A deterministic, collision-resistant per-cell seed.
+
+    Hashes the cell coordinates so every (service, BE, load) cell gets an
+    independent seed derived from one root — the parallel analogue of
+    :meth:`repro.sim.rng.RandomStreams.spawn`. Grids that want the
+    paper's paired-seed variance reduction (every cell reuses the root
+    seed) simply skip this derivation.
+    """
+    digest = hashlib.sha256(
+        f"{salt}:{root_seed}:{service}:{be_job}:{load!r}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "little") >> 1  # 63-bit, non-negative
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One grid cell: a (service, BE job, load) point at one seed."""
+
+    service: ServiceSpec
+    be_spec: BeJobSpec
+    load: float
+    seed: int = 0
+    #: Optional load pattern; ``None`` means ``ConstantLoad(load)``.
+    pattern: Optional[LoadPattern] = None
+
+
+@dataclass(frozen=True)
+class _CellTask:
+    """A shipped unit of work: the cell plus everything it needs."""
+
+    cell: GridCell
+    artifact: RhythmArtifact
+    heracles_policy: HeraclesPolicy
+    config: Optional[ColocationConfig]
+
+
+def _execute_task(task: _CellTask) -> ComparisonResult:
+    """Run one cell under both systems (worker side, also used inline).
+
+    Mirrors :func:`repro.experiments.runner.compare_systems` exactly,
+    except Rhythm's controllers come from the shipped artifact instead of
+    the in-process profiling cache.
+    """
+    cell = task.cell
+    pattern = cell.pattern if cell.pattern is not None else ConstantLoad(cell.load)
+    rhythm_result = run_cell(
+        cell.service,
+        task.artifact.controllers(),
+        cell.be_spec,
+        pattern,
+        seed=cell.seed,
+        config=task.config,
+    )
+    heracles_result = run_cell(
+        cell.service,
+        heracles_controllers(cell.service, task.heracles_policy),
+        cell.be_spec,
+        pattern,
+        seed=cell.seed,
+        config=task.config,
+    )
+    return ComparisonResult(
+        service=cell.service.name,
+        be_job=cell.be_spec.name,
+        load=cell.load,
+        rhythm=rhythm_result,
+        heracles=heracles_result,
+    )
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits sys.path) when the platform has it."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def profile_services(
+    cells: Sequence[GridCell],
+    seed_by_service: Optional[Mapping[str, int]] = None,
+    profiling_mode: str = "direct",
+    probe_slacklimits: bool = True,
+) -> Dict[str, RhythmArtifact]:
+    """Profile every distinct service of ``cells`` once, in the parent.
+
+    ``seed_by_service`` overrides the profiling seed per service; by
+    default each service profiles at the seed of its first cell, which is
+    what the serial ``compare_systems`` path does.
+    """
+    artifacts: Dict[str, RhythmArtifact] = {}
+    for cell in cells:
+        name = cell.service.name
+        if name in artifacts:
+            continue
+        seed = (
+            seed_by_service[name]
+            if seed_by_service is not None and name in seed_by_service
+            else cell.seed
+        )
+        artifacts[name] = artifact_for(
+            cell.service,
+            seed=seed,
+            profiling_mode=profiling_mode,
+            probe_slacklimits=probe_slacklimits,
+        )
+    return artifacts
+
+
+def run_comparison_grid(
+    cells: Sequence[GridCell],
+    config: Optional[ColocationConfig] = None,
+    workers: Optional[int] = None,
+    heracles_policy: HeraclesPolicy = HeraclesPolicy(),
+    profiling_mode: str = "direct",
+    probe_slacklimits: bool = True,
+    artifacts: Optional[Mapping[str, RhythmArtifact]] = None,
+) -> List[ComparisonResult]:
+    """Run every cell under Rhythm and Heracles; results in input order.
+
+    Profiling happens once per distinct service in the parent (unless
+    pre-built ``artifacts`` are supplied); only frozen artifacts travel
+    to the pool. With ``workers=1`` (or one cell) everything runs inline
+    in this process — the pool path produces bit-identical results.
+    """
+    cells = list(cells)
+    if not cells:
+        return []
+    if artifacts is None:
+        artifacts = profile_services(
+            cells,
+            profiling_mode=profiling_mode,
+            probe_slacklimits=probe_slacklimits,
+        )
+    missing = {c.service.name for c in cells} - set(artifacts)
+    if missing:
+        raise ExperimentError(f"no artifacts for services {sorted(missing)}")
+    tasks = [
+        _CellTask(
+            cell=cell,
+            artifact=artifacts[cell.service.name],
+            heracles_policy=heracles_policy,
+            config=config,
+        )
+        for cell in cells
+    ]
+    n_workers = min(resolve_workers(workers), len(tasks))
+    if n_workers <= 1:
+        return [_execute_task(task) for task in tasks]
+    chunksize = max(1, len(tasks) // (n_workers * 4))
+    with ProcessPoolExecutor(
+        max_workers=n_workers, mp_context=_pool_context()
+    ) as pool:
+        return list(pool.map(_execute_task, tasks, chunksize=chunksize))
+
+
+# -- result fingerprints -------------------------------------------------
+#
+# ColocationResult nests accumulators without __eq__; these fingerprints
+# reduce a result to plain tuples covering every reported quantity down
+# to individual tick samples, so "bit-identical" is checkable with ==.
+
+
+def colocation_fingerprint(result: ColocationResult) -> Tuple:
+    """A deep, hashable fingerprint of one co-location result."""
+    machines = []
+    for pod in sorted(result.machines):
+        metrics = result.machines[pod]
+        machines.append(
+            (
+                pod,
+                metrics.machine_name,
+                metrics.completed_be_throughput,
+                metrics.avg_emu,
+                metrics.avg_cpu_utilisation,
+                metrics.avg_membw_utilisation,
+                metrics.tail.window_tails if metrics.tail is not None else (),
+                tuple(
+                    (
+                        s.t,
+                        s.load,
+                        s.slack,
+                        s.tail_ms,
+                        s.cpu_utilisation,
+                        s.membw_utilisation,
+                        s.be_instances,
+                        s.be_cores,
+                        s.be_llc_ways,
+                        s.be_rate,
+                        s.action,
+                    )
+                    for s in metrics.samples
+                ),
+            )
+        )
+    return (
+        result.service,
+        result.duration_s,
+        result.lc_load_mean,
+        result.be_kills,
+        result.be_suspensions,
+        result.sla_violations,
+        result.worst_tail_ms,
+        result.events_fired,
+        tuple(machines),
+    )
+
+
+def comparison_fingerprint(result: ComparisonResult) -> Tuple:
+    """A deep fingerprint of one Rhythm-vs-Heracles comparison."""
+    return (
+        result.service,
+        result.be_job,
+        result.load,
+        colocation_fingerprint(result.rhythm),
+        colocation_fingerprint(result.heracles),
+    )

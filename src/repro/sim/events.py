@@ -43,31 +43,47 @@ class Event:
     seq: int
     callback: EventCallback = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Owning queue while the event sits in its heap; lets cancel()
+    #: maintain the queue's live-event counter in O(1). Detached (None)
+    #: once popped or cleared.
+    _queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark this event so the engine skips it; O(1)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._live -= 1
+            self._queue = None
 
 
 class EventQueue:
-    """A deterministic priority queue of :class:`Event` objects."""
+    """A deterministic priority queue of :class:`Event` objects.
+
+    A live-event counter is maintained on push/pop/cancel so ``len()``
+    and truthiness are O(1) instead of scanning the heap.
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return any(not e.cancelled for e in self._heap)
+        return self._live > 0
 
     def push(self, time: float, callback: EventCallback, priority: int = 0) -> Event:
         """Schedule ``callback`` at absolute ``time`` and return the event."""
         if not (time >= 0.0):
             raise SimulationError(f"event time must be finite and >= 0, got {time!r}")
         event = Event(time=float(time), priority=priority, seq=next(self._counter), callback=callback)
+        event._queue = self
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
@@ -75,6 +91,10 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                # Detach so a late cancel() of the returned event cannot
+                # decrement the counter for an event no longer queued.
+                event._queue = None
+                self._live -= 1
                 return event
         return None
 
@@ -86,4 +106,7 @@ class EventQueue:
 
     def clear(self) -> None:
         """Drop every scheduled event."""
+        for event in self._heap:
+            event._queue = None
         self._heap.clear()
+        self._live = 0

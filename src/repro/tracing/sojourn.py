@@ -15,12 +15,12 @@ Two extraction modes, mirroring §3.3:
 
 from __future__ import annotations
 
-import math
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List
 
 from repro.errors import TracingError
+from repro.metrics.streaming import WelfordAccumulator
 from repro.tracing.causality import CausalityMatcher
 from repro.tracing.cpg import CausalPathGraph
 from repro.tracing.events import SysEvent
@@ -87,14 +87,21 @@ class SojournExtractor:
         return stats
 
     def stats(self, events: Iterable[SysEvent]) -> Dict[str, SojournStats]:
-        """Full per-request statistics (mean, std, CoV) per Servpod."""
+        """Full per-request statistics (mean, std, CoV) per Servpod.
+
+        Uses single-pass Welford accumulation instead of the naive
+        two-pass mean/variance, so the per-pod sample lists are consumed
+        in one sweep with O(1) extra memory per pod.
+        """
         per_request = self.per_request(events)
         out = {}
         for pod, values in per_request.items():
-            n = len(values)
-            mean = sum(values) / n
-            var = sum((v - mean) ** 2 for v in values) / (n - 1) if n > 1 else 0.0
+            acc = WelfordAccumulator()
+            acc.add_many(values)
             out[pod] = SojournStats(
-                servpod=pod, n_requests=n, mean_ms=mean, std_ms=math.sqrt(var)
+                servpod=pod,
+                n_requests=acc.count,
+                mean_ms=acc.mean,
+                std_ms=acc.std(ddof=1),
             )
         return out
