@@ -1,15 +1,18 @@
 #!/usr/bin/env python
-"""Fast regression gate for the parallel grid engine.
+"""Fast regression gate for the parallel grid engine and result cache.
 
 Runs, in order:
 
 1. a tiny parallel grid (1 service, 2 BE jobs, 2 loads, 20 simulated
    seconds per cell) twice — inline and on a 2-worker pool — and asserts
    the results are bit-identical, then
-2. the tier-1 test suite (``pytest -x -q`` over ``tests/``).
+2. the same grid cold-then-warm against a throwaway disk cache and
+   asserts the warm run hits every cell (zero recomputation) with
+   bit-identical results, then
+3. the tier-1 test suite (``pytest -x -q`` over ``tests/``).
 
-Exit code is non-zero on any failure, so CI can gate pool-runner
-regressions without paying for the full figure grids. Usage::
+Exit code is non-zero on any failure, so CI can gate pool-runner and
+cache regressions without paying for the full figure grids. Usage::
 
     PYTHONPATH=src python scripts/bench_smoke.py [--skip-tests]
 """
@@ -67,6 +70,64 @@ def smoke_parallel_grid() -> None:
     )
 
 
+def smoke_cache() -> None:
+    """The tiny cold-vs-warm incremental re-execution check."""
+    import shutil
+    import tempfile
+
+    from repro.bejobs.catalog import evaluation_be_jobs
+    from repro.cache import CacheStore
+    from repro.experiments.colocation import ColocationConfig
+    from repro.experiments.runner import clear_rhythm_cache
+    from repro.parallel.grid import (
+        GridCacheStats,
+        GridCell,
+        comparison_fingerprint,
+        run_comparison_grid,
+    )
+    from repro.workloads.catalog import LC_CATALOG
+
+    spec = LC_CATALOG["Redis"]()
+    cells = [
+        GridCell(spec, be, load, seed=0)
+        for be in evaluation_be_jobs()[:2]
+        for load in (0.25, 0.65)
+    ]
+    config = ColocationConfig(duration_s=20.0)
+    cache_dir = tempfile.mkdtemp(prefix="rhythm-smoke-cache-")
+    try:
+        store = CacheStore(cache_dir)
+        clear_rhythm_cache()
+        cold_stats = GridCacheStats()
+        t0 = time.perf_counter()
+        cold = run_comparison_grid(
+            cells, config=config, workers=1, cache=store, cache_stats=cold_stats
+        )
+        cold_s = time.perf_counter() - t0
+        clear_rhythm_cache()  # force the artifact to come back from disk
+        warm_stats = GridCacheStats()
+        t0 = time.perf_counter()
+        warm = run_comparison_grid(
+            cells, config=config, workers=1, cache=store, cache_stats=warm_stats
+        )
+        warm_s = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    if warm_stats.hits != len(cells) or warm_stats.misses or warm_stats.skipped:
+        raise AssertionError(
+            f"warm run recomputed cells: {warm_stats.hits} hits, "
+            f"{warm_stats.misses} misses, {warm_stats.skipped} skipped"
+        )
+    if [comparison_fingerprint(r) for r in cold] != [
+        comparison_fingerprint(r) for r in warm
+    ]:
+        raise AssertionError("warm cache results diverged from the cold run")
+    print(
+        f"smoke cache OK: {len(cells)} cells, cold {cold_s:.1f}s -> "
+        f"warm {warm_s:.3f}s, all hits, bit-identical"
+    )
+
+
 def run_tier1() -> int:
     """The repo's tier-1 suite, exactly as the roadmap invokes it."""
     env = dict(**__import__("os").environ)
@@ -87,6 +148,7 @@ def main() -> int:
     args = parser.parse_args()
     sys.path.insert(0, str(SRC))
     smoke_parallel_grid()
+    smoke_cache()
     if args.skip_tests:
         return 0
     return run_tier1()

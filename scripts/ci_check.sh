@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The repo's CI gate: tier-1 tests plus the perf smoke gate.
+#
+# Usage (from the repo root):
+#
+#   bash scripts/ci_check.sh
+#
+# Runs, in order:
+#   1. the tier-1 test suite (PYTHONPATH=src pytest -x -q), then
+#   2. the perf smoke gate (parallel-grid bit-identity + cold/warm
+#      cache round trip) from scripts/bench_smoke.py.
+#
+# Any failure aborts with a non-zero exit code.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo
+echo "== perf smoke gate =="
+python scripts/bench_smoke.py --skip-tests
+
+echo
+echo "ci_check OK"

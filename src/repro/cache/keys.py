@@ -1,0 +1,143 @@
+"""Stable, content-addressed cache keys.
+
+A cache key must be a pure function of the *fully resolved* inputs of a
+computation — the same cell config must hash to the same key in any
+process, on any platform, under any ``PYTHONHASHSEED`` — and it must
+change whenever anything that affects the result changes. Keys are
+therefore built by feeding a canonical byte encoding of the input object
+graph into SHA-256:
+
+- every value is emitted with a one-byte type tag, so ``1`` and ``1.0``
+  and ``"1"`` never collide,
+- floats are encoded with :meth:`float.hex` (exact, round-trippable),
+- dataclasses and plain objects carry their qualified class name plus
+  their fields in a deterministic order,
+- numpy arrays contribute dtype, shape and raw bytes.
+
+Anything without a canonical encoding (a bare function, an open file)
+raises :class:`~repro.errors.CacheKeyError`; the grid engine treats such
+cells as uncacheable and recomputes them rather than guessing.
+
+The :data:`CODE_VERSION_SALT` is mixed into every key. Bump it whenever
+a change alters what simulations produce for the *same* config (new RNG
+consumption order, changed physics, changed result schema): every old
+entry then misses and warm runs transparently recompute.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.errors import CacheKeyError
+
+#: Version salt mixed into every key. Bump on result-affecting changes.
+CODE_VERSION_SALT = "rhythm-repro-cache:1"
+
+_PRIMITIVE_TAGS = {
+    type(None): b"N",
+    bool: b"B",
+    int: b"I",
+    str: b"S",
+    bytes: b"Y",
+}
+
+
+def _feed(h: "hashlib._Hash", obj: Any) -> None:
+    """Recursively feed the canonical encoding of ``obj`` into ``h``."""
+    if obj is None:
+        h.update(b"N")
+        return
+    if isinstance(obj, bool):  # before int: bool is an int subclass
+        h.update(b"B1" if obj else b"B0")
+        return
+    if isinstance(obj, (int, np.integer)):
+        h.update(b"I" + str(int(obj)).encode("ascii") + b";")
+        return
+    if isinstance(obj, (float, np.floating)):
+        value = float(obj)
+        if math.isnan(value):
+            h.update(b"Fnan;")
+        else:
+            h.update(b"F" + value.hex().encode("ascii") + b";")
+        return
+    if isinstance(obj, str):
+        data = obj.encode("utf-8")
+        h.update(b"S" + str(len(data)).encode("ascii") + b":" + data)
+        return
+    if isinstance(obj, bytes):
+        h.update(b"Y" + str(len(obj)).encode("ascii") + b":" + obj)
+        return
+    if isinstance(obj, enum.Enum):
+        h.update(b"E" + _qualname(obj).encode("utf-8") + b":")
+        _feed(h, obj.value)
+        return
+    if isinstance(obj, np.ndarray):
+        h.update(
+            b"A" + str(obj.dtype).encode("ascii")
+            + str(obj.shape).encode("ascii") + b":"
+        )
+        h.update(np.ascontiguousarray(obj).tobytes())
+        return
+    if isinstance(obj, (list, tuple)):
+        h.update(b"L" + str(len(obj)).encode("ascii") + b":")
+        for item in obj:
+            _feed(h, item)
+        return
+    if isinstance(obj, (set, frozenset)):
+        h.update(b"T" + str(len(obj)).encode("ascii") + b":")
+        for item in sorted(obj, key=repr):
+            _feed(h, item)
+        return
+    if isinstance(obj, dict):
+        h.update(b"M" + str(len(obj)).encode("ascii") + b":")
+        for key in sorted(obj, key=repr):
+            _feed(h, key)
+            _feed(h, obj[key])
+        return
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        h.update(b"D" + _qualname(obj).encode("utf-8") + b":")
+        for field in dataclasses.fields(obj):
+            h.update(field.name.encode("utf-8") + b"=")
+            _feed(h, getattr(obj, field.name))
+        return
+    # Plain value objects (load patterns, InterferenceModel, ...): the
+    # qualified class name plus every instance attribute, sorted. Bound
+    # state that is itself unhashable (a wrapped callable) propagates a
+    # CacheKeyError, marking the whole cell uncacheable.
+    if hasattr(obj, "__dict__") and not callable(obj):
+        attrs = vars(obj)
+        h.update(b"O" + _qualname(obj).encode("utf-8") + b":")
+        h.update(str(len(attrs)).encode("ascii") + b":")
+        for name in sorted(attrs):
+            h.update(name.encode("utf-8") + b"=")
+            _feed(h, attrs[name])
+        return
+    raise CacheKeyError(
+        f"cannot build a stable cache key from {type(obj).__module__}."
+        f"{type(obj).__qualname__} instance {obj!r}"
+    )
+
+
+def _qualname(obj: Any) -> str:
+    cls = type(obj)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def stable_hash(obj: Any, salt: str = CODE_VERSION_SALT) -> str:
+    """The hex SHA-256 of ``obj``'s canonical encoding, mixed with ``salt``.
+
+    Deterministic across processes, platforms and ``PYTHONHASHSEED``
+    values. Raises :class:`~repro.errors.CacheKeyError` when ``obj``
+    (or anything reachable from it) has no canonical encoding.
+    """
+    h = hashlib.sha256()
+    h.update(b"salt:")
+    _feed(h, salt)
+    _feed(h, obj)
+    return h.hexdigest()

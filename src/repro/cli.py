@@ -8,10 +8,14 @@ Exposes the library's main entry points without writing Python::
     python -m repro production E-commerce stream-dram --duration 600
     python -m repro trace E-commerce --requests 100
     python -m repro grid service --workers 4  # a figure grid, in parallel
+    python -m repro cache stats               # the result cache's state
 
 Every command prints the same text tables the benchmarks produce. Grid
 commands fan cells out to the parallel grid engine (worker count from
-``--workers``, the ``RHYTHM_WORKERS`` env var, or the CPU count).
+``--workers``, the ``RHYTHM_WORKERS`` env var, or the CPU count) and,
+by default, memoize finished cells in the content-addressed result
+cache so warm re-runs only execute changed cells (``--no-cache``, or
+``RHYTHM_CACHE=off``, disables this).
 """
 
 from __future__ import annotations
@@ -179,6 +183,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_grid(args: argparse.Namespace) -> int:
     """Run one of the evaluation grids on the parallel engine."""
+    from repro.cache import default_store
     from repro.experiments.figures.figure9_11 import (
         SHOWCASED_SERVPODS,
         average_gain,
@@ -189,7 +194,7 @@ def cmd_grid(args: argparse.Namespace) -> int:
         run_service_grid,
     )
     from repro.experiments.figures.figure15 import run_figure15, worst_safety_cell
-    from repro.parallel.grid import resolve_workers
+    from repro.parallel.grid import GridCacheStats, resolve_workers
 
     workers = resolve_workers(args.workers)
     for name in args.services or ():
@@ -197,6 +202,8 @@ def cmd_grid(args: argparse.Namespace) -> int:
     be_specs = [be_job_spec(name) for name in args.be_jobs] if args.be_jobs else None
     loads = tuple(args.loads) if args.loads else (0.05, 0.25, 0.45, 0.65, 0.85)
     config = ColocationConfig(duration_s=args.duration)
+    cache = default_store() if args.cache else None
+    cache_stats = GridCacheStats() if cache is not None else None
 
     if args.kind == "servpod":
         servpods = [
@@ -206,6 +213,7 @@ def cmd_grid(args: argparse.Namespace) -> int:
         rows = run_servpod_grid(
             servpods=servpods, be_specs=be_specs, loads=loads,
             seed=args.seed, config=config, workers=workers,
+            cache=cache, cache_stats=cache_stats,
         )
         print(render_table(
             ["Servpod", "BE tput gain", "CPU gain", "MemBW gain"],
@@ -220,6 +228,7 @@ def cmd_grid(args: argparse.Namespace) -> int:
         rows = run_service_grid(
             services=args.services or None, be_specs=be_specs, loads=loads,
             seed=args.seed, config=config, workers=workers,
+            cache=cache, cache_stats=cache_stats,
         )
         emu = improvement_table(rows, "emu_improvement")
         cpu = improvement_table(rows, "cpu_improvement")
@@ -234,6 +243,7 @@ def cmd_grid(args: argparse.Namespace) -> int:
         rows = run_figure15(
             services=args.services or None, be_specs=be_specs,
             duration_s=args.duration, seed=args.seed, workers=workers,
+            cache=cache, cache_stats=cache_stats,
         )
         worst = worst_safety_cell(rows)
         print(render_table(
@@ -244,10 +254,36 @@ def cmd_grid(args: argparse.Namespace) -> int:
         ))
         print(f"worst safety cell: {worst.service}+{worst.be_job} "
               f"at {worst.worst_p99_over_sla:.2f}x SLA")
+    if cache_stats is not None:
+        print(
+            f"cache: {cache_stats.hits} hits, {cache_stats.misses} misses, "
+            f"{cache_stats.skipped} uncached of {cache_stats.total} cells"
+        )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump([asdict(r) for r in rows], fh, indent=2)
         print(f"wrote {len(rows)} rows to {args.json}")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the content-addressed result cache."""
+    from repro.cache import CacheStore, cache_enabled
+
+    store = CacheStore()
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.directory}")
+        return 0
+    stats = store.stats()
+    rows = [
+        ["directory", stats.directory],
+        ["enabled", "yes" if cache_enabled() else "no (RHYTHM_CACHE=off)"],
+        ["entries", stats.entries],
+        ["size", f"{stats.total_bytes / 1e6:.1f} MB"],
+        ["size cap", f"{stats.max_bytes / 1e6:.0f} MB"],
+    ]
+    print(render_table(["Field", "Value"], rows, title="Result cache"))
     return 0
 
 
@@ -299,8 +335,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="process-pool size (default: RHYTHM_WORKERS or CPUs)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache", action=argparse.BooleanOptionalAction, default=True,
+                   help="reuse cached cell results and cache new ones "
+                        "(RHYTHM_CACHE_DIR; RHYTHM_CACHE=off also disables)")
     p.add_argument("--json", default=None, help="also dump rows to this file")
     p.set_defaults(fn=cmd_grid)
+
+    p = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("stats", help="entry count, size, directory")
+    cache_sub.add_parser("clear", help="delete every cached entry")
+    p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser("trace", help="trace requests and recover sojourns")
     p.add_argument("service")

@@ -53,3 +53,16 @@ class ControlError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was invoked with unusable parameters."""
+
+
+class CacheError(ReproError):
+    """The result cache was misused or misconfigured."""
+
+
+class CacheKeyError(CacheError):
+    """A value could not be reduced to a stable cache key.
+
+    Raised when an object reachable from a cell configuration has no
+    canonical byte encoding (e.g. a bare callable). Callers treat the
+    owning cell as uncacheable and simply recompute it.
+    """

@@ -23,7 +23,7 @@ from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.bejobs.job import BeResourceSnapshot, compute_be_rates
+from repro.bejobs.job import BeResourceSnapshot, LcUsage, compute_be_rates
 from repro.bejobs.spec import BeJobSpec
 from repro.cluster.machine import LC_DOMAIN, MachineSpec
 from repro.core.actions import BeAction
@@ -244,10 +244,11 @@ class ColocationExperiment:
         slowdowns: Dict[str, float] = {}
         inflations: Dict[str, float] = {}
         snapshots: Dict[str, BeResourceSnapshot] = {}
+        usages: Dict[str, LcUsage] = {}
         for pod, run in self._runs.items():
             servpod = self.deployment.servpod(pod)
             machine = servpod.machine
-            usage = self.service.lc_usage(pod, realized)
+            usage = usages[pod] = self.service.lc_usage(pod, realized)
             self._network.apply(machine, usage.net_gbps)
             snapshot = compute_be_rates(machine, run.pool.jobs(), usage)
             snapshots[pod] = snapshot
@@ -286,12 +287,13 @@ class ColocationExperiment:
             for job in run.pool.running():
                 job.advance(dt, snapshot.rates.get(job.job_id, 0.0))
 
-        # Phase 4: control decisions + metrics.
+        # Phase 4: control decisions + metrics. The per-pod usage was
+        # computed in phase 1 (same pod, same realized load) — reuse it.
         for pod, run in self._runs.items():
             servpod = self.deployment.servpod(pod)
             machine = servpod.machine
             snapshot = snapshots[pod]
-            usage = self.service.lc_usage(pod, realized)
+            usage = usages[pod]
             action = run.controller.decide(load, tail_ms, t=t)
             run.last_action = action
             run.last_snapshot = snapshot

@@ -70,12 +70,16 @@ def run_service_grid(
     config: Optional[ColocationConfig] = None,
     service_builder: Optional[Callable[[str], ServiceSpec]] = None,
     workers: Optional[int] = None,
+    cache=None,
+    cache_stats=None,
 ) -> List[ServiceCell]:
     """Run the Figures 12-14 grid; one row per (service, BE, load).
 
     Cells run on the parallel grid engine (``workers`` as in
     :func:`repro.parallel.grid.resolve_workers`); results are identical
-    for any worker count.
+    for any worker count. ``cache``/``cache_stats`` pass through to
+    :func:`repro.parallel.grid.run_comparison_grid` for incremental
+    re-execution.
     """
     service_names = list(services) if services is not None else list(LC_CATALOG)
     be_specs = list(be_specs) if be_specs is not None else evaluation_be_jobs()
@@ -87,7 +91,9 @@ def run_service_grid(
         for be in be_specs:
             for load in loads:
                 cells.append(GridCell(spec, be, load, seed=seed))
-    comparisons = run_comparison_grid(cells, config=config, workers=workers)
+    comparisons = run_comparison_grid(
+        cells, config=config, workers=workers, cache=cache, cache_stats=cache_stats
+    )
     return [
         ServiceCell(
             service=cell.service.name,

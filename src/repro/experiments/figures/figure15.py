@@ -48,13 +48,16 @@ def run_figure15(
     config: Optional[ColocationConfig] = None,
     service_builder: Optional[Callable[[str], ServiceSpec]] = None,
     workers: Optional[int] = None,
+    cache=None,
+    cache_stats=None,
 ) -> List[ProductionCell]:
     """Run the production-load grid; one row per (service, BE) cell.
 
     The production pattern compresses five synthetic ClarkNet days into
     ``duration_s`` (the paper compresses five real days into six hours).
     Cells run on the parallel grid engine (``workers`` as in
-    :func:`repro.parallel.grid.resolve_workers`).
+    :func:`repro.parallel.grid.resolve_workers`); ``cache``/
+    ``cache_stats`` pass through for incremental re-execution.
     """
     service_names = list(services) if services is not None else list(LC_CATALOG)
     be_specs = list(be_specs) if be_specs is not None else evaluation_be_jobs()
@@ -68,7 +71,9 @@ def run_figure15(
         sla_by_service[service_name] = spec.sla_ms
         for be in be_specs:
             cells.append(GridCell(spec, be, load=0.5, seed=seed, pattern=pattern))
-    comparisons = run_comparison_grid(cells, config=config, workers=workers)
+    comparisons = run_comparison_grid(
+        cells, config=config, workers=workers, cache=cache, cache_stats=cache_stats
+    )
     return [
         ProductionCell(
             service=cell.service.name,

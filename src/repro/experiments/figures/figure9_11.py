@@ -60,12 +60,17 @@ def run_servpod_grid(
     config: Optional[ColocationConfig] = None,
     service_builder: Optional[Callable[[str], ServiceSpec]] = None,
     workers: Optional[int] = None,
+    cache=None,
+    cache_stats=None,
 ) -> List[ServpodCell]:
     """Run the full Figures 9-11 grid; returns one row per cell/system.
 
     Cells fan out to the parallel grid engine; ``workers`` resolves via
     :func:`repro.parallel.grid.resolve_workers` (``RHYTHM_WORKERS`` env
     var, then CPU count). Results are identical for any worker count.
+    ``cache``/``cache_stats`` pass through to
+    :func:`repro.parallel.grid.run_comparison_grid` for incremental
+    re-execution.
     """
     be_specs = list(be_specs) if be_specs is not None else evaluation_be_jobs()
     builder = service_builder or (lambda name: LC_CATALOG[name]())
@@ -79,7 +84,9 @@ def run_servpod_grid(
             for load in loads:
                 cells.append(GridCell(spec, be, load, seed=seed))
                 coords.append((service_name, pod))
-    comparisons = run_comparison_grid(cells, config=config, workers=workers)
+    comparisons = run_comparison_grid(
+        cells, config=config, workers=workers, cache=cache, cache_stats=cache_stats
+    )
     rows: List[ServpodCell] = []
     for (service_name, pod), cell, cmp in zip(coords, cells, comparisons):
         for system, result in (

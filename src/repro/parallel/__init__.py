@@ -9,7 +9,9 @@
 from repro.parallel.artifact import RhythmArtifact, artifact_for
 from repro.parallel.grid import (
     WORKERS_ENV_VAR,
+    GridCacheStats,
     GridCell,
+    artifact_cache_key,
     colocation_fingerprint,
     comparison_fingerprint,
     derive_cell_seed,
@@ -20,8 +22,10 @@ from repro.parallel.grid import (
 
 __all__ = [
     "WORKERS_ENV_VAR",
+    "GridCacheStats",
     "GridCell",
     "RhythmArtifact",
+    "artifact_cache_key",
     "artifact_for",
     "colocation_fingerprint",
     "comparison_fingerprint",

@@ -24,6 +24,14 @@ identical results (asserted in ``tests/test_parallel.py``).
 Worker count resolves from the ``RHYTHM_WORKERS`` environment variable,
 falling back to ``os.cpu_count()``. ``workers=1`` (or a single cell)
 runs inline without a pool.
+
+Incremental re-execution: pass ``cache=True`` (the environment-default
+store) or an explicit :class:`~repro.cache.store.CacheStore` and the
+grid becomes content-addressed — profiling artifacts and finished cell
+results are memoized on disk keyed by a stable hash of the fully
+resolved cell config (see :mod:`repro.cache.keys`), so a warm re-run of
+an unchanged grid executes zero simulations. Hit/miss/skip counts are
+reported through :class:`GridCacheStats`.
 """
 
 from __future__ import annotations
@@ -33,11 +41,13 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.baselines.heracles import HeraclesPolicy, heracles_controllers
 from repro.bejobs.spec import BeJobSpec
-from repro.errors import ExperimentError
+from repro.cache.keys import stable_hash
+from repro.cache.store import CacheStore, default_store
+from repro.errors import CacheKeyError, ExperimentError
 from repro.experiments.colocation import ColocationConfig, ColocationResult
 from repro.experiments.runner import ComparisonResult, run_cell
 from repro.loadgen.patterns import ConstantLoad, LoadPattern
@@ -149,18 +159,106 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+# -- content-addressed caching -------------------------------------------
+
+
+@dataclass
+class GridCacheStats:
+    """Cache outcome counts of one ``run_comparison_grid`` invocation.
+
+    ``hits`` cells were served from the store without simulating,
+    ``misses`` were computed and stored, ``skipped`` were computed but
+    not cached (no store, or an uncacheable cell config).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    skipped: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total cells the invocation covered."""
+        return self.hits + self.misses + self.skipped
+
+    def merge(self, other: "GridCacheStats") -> None:
+        """Accumulate another invocation's counts into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.skipped += other.skipped
+
+
+def _resolve_store(
+    cache: Union[None, bool, CacheStore]
+) -> Optional[CacheStore]:
+    """Normalize the ``cache`` argument to a store (or no caching).
+
+    ``None``/``False`` disable caching; ``True`` uses the
+    environment-default store (which ``RHYTHM_CACHE=off`` may veto);
+    a :class:`CacheStore` is used as given.
+    """
+    if isinstance(cache, CacheStore):
+        return cache
+    if cache:
+        return default_store()
+    return None
+
+
+def artifact_cache_key(
+    service: ServiceSpec,
+    seed: int,
+    profiling_mode: str,
+    probe_slacklimits: bool,
+) -> str:
+    """The content address of one service's profiling artifact."""
+    return stable_hash(
+        ("rhythm-artifact", service, seed, profiling_mode, probe_slacklimits)
+    )
+
+
+def cell_cache_key(task: _CellTask) -> str:
+    """The content address of one grid cell's comparison result.
+
+    Hashes everything a cell result depends on: the resolved service and
+    BE specs, load pattern, seed, the *profiled* artifact (so a changed
+    profiling outcome invalidates dependent cells), the Heracles policy
+    and the fully defaulted run config. Raises
+    :class:`~repro.errors.CacheKeyError` for unhashable configs (e.g. a
+    pattern wrapping a bare callable); such cells simply run uncached.
+    """
+    cell = task.cell
+    pattern = cell.pattern if cell.pattern is not None else ConstantLoad(cell.load)
+    config = task.config if task.config is not None else ColocationConfig()
+    return stable_hash(
+        (
+            "grid-cell",
+            cell.service,
+            cell.be_spec,
+            cell.load,
+            cell.seed,
+            pattern,
+            task.artifact,
+            task.heracles_policy,
+            config,
+        )
+    )
+
+
 def profile_services(
     cells: Sequence[GridCell],
     seed_by_service: Optional[Mapping[str, int]] = None,
     profiling_mode: str = "direct",
     probe_slacklimits: bool = True,
+    cache: Union[None, bool, CacheStore] = None,
 ) -> Dict[str, RhythmArtifact]:
     """Profile every distinct service of ``cells`` once, in the parent.
 
     ``seed_by_service`` overrides the profiling seed per service; by
     default each service profiles at the seed of its first cell, which is
-    what the serial ``compare_systems`` path does.
+    what the serial ``compare_systems`` path does. With a ``cache``,
+    artifacts are memoized on disk, so a warm process skips the expensive
+    SLA probe entirely.
     """
+    store = _resolve_store(cache)
     artifacts: Dict[str, RhythmArtifact] = {}
     for cell in cells:
         name = cell.service.name
@@ -171,12 +269,27 @@ def profile_services(
             if seed_by_service is not None and name in seed_by_service
             else cell.seed
         )
+        key: Optional[str] = None
+        if store is not None:
+            try:
+                key = artifact_cache_key(
+                    cell.service, seed, profiling_mode, probe_slacklimits
+                )
+            except CacheKeyError:
+                key = None
+            if key is not None:
+                hit = store.get(key)
+                if isinstance(hit, RhythmArtifact) and hit.service_name == name:
+                    artifacts[name] = hit
+                    continue
         artifacts[name] = artifact_for(
             cell.service,
             seed=seed,
             profiling_mode=profiling_mode,
             probe_slacklimits=probe_slacklimits,
         )
+        if store is not None and key is not None:
+            store.put(key, artifacts[name])
     return artifacts
 
 
@@ -188,6 +301,8 @@ def run_comparison_grid(
     profiling_mode: str = "direct",
     probe_slacklimits: bool = True,
     artifacts: Optional[Mapping[str, RhythmArtifact]] = None,
+    cache: Union[None, bool, CacheStore] = None,
+    cache_stats: Optional[GridCacheStats] = None,
 ) -> List[ComparisonResult]:
     """Run every cell under Rhythm and Heracles; results in input order.
 
@@ -195,15 +310,26 @@ def run_comparison_grid(
     pre-built ``artifacts`` are supplied); only frozen artifacts travel
     to the pool. With ``workers=1`` (or one cell) everything runs inline
     in this process — the pool path produces bit-identical results.
+
+    With a ``cache`` (``True`` for the environment default, or an
+    explicit :class:`~repro.cache.store.CacheStore`), each cell's result
+    is looked up by its content address before any simulation runs: hits
+    are returned as-is (bit-identical to a cold run — the stored object
+    *is* the cold result), misses are computed and stored. Pass a
+    :class:`GridCacheStats` as ``cache_stats`` to receive the
+    hit/miss/skip counts of this invocation.
     """
     cells = list(cells)
     if not cells:
         return []
+    store = _resolve_store(cache)
+    stats = cache_stats if cache_stats is not None else GridCacheStats()
     if artifacts is None:
         artifacts = profile_services(
             cells,
             profiling_mode=profiling_mode,
             probe_slacklimits=probe_slacklimits,
+            cache=store,
         )
     missing = {c.service.name for c in cells} - set(artifacts)
     if missing:
@@ -217,14 +343,50 @@ def run_comparison_grid(
         )
         for cell in cells
     ]
-    n_workers = min(resolve_workers(workers), len(tasks))
-    if n_workers <= 1:
-        return [_execute_task(task) for task in tasks]
-    chunksize = max(1, len(tasks) // (n_workers * 4))
-    with ProcessPoolExecutor(
-        max_workers=n_workers, mp_context=_pool_context()
-    ) as pool:
-        return list(pool.map(_execute_task, tasks, chunksize=chunksize))
+
+    # Cache lookup pass: resolve every cell to a hit or a pending slot.
+    results: List[Optional[ComparisonResult]] = [None] * len(tasks)
+    keys: List[Optional[str]] = [None] * len(tasks)
+    pending: List[int] = []
+    for i, task in enumerate(tasks):
+        if store is None:
+            stats.skipped += 1
+            pending.append(i)
+            continue
+        try:
+            keys[i] = cell_cache_key(task)
+        except CacheKeyError:
+            stats.skipped += 1
+            pending.append(i)
+            continue
+        hit = store.get(keys[i])
+        if isinstance(hit, ComparisonResult):
+            stats.hits += 1
+            results[i] = hit
+        else:
+            stats.misses += 1
+            pending.append(i)
+
+    # Execution pass: only the unresolved cells run (inline or pooled).
+    pending_tasks = [tasks[i] for i in pending]
+    if pending_tasks:
+        n_workers = min(resolve_workers(workers), len(pending_tasks))
+        if n_workers <= 1:
+            computed = [_execute_task(task) for task in pending_tasks]
+        else:
+            chunksize = max(1, len(pending_tasks) // (n_workers * 4))
+            with ProcessPoolExecutor(
+                max_workers=n_workers, mp_context=_pool_context()
+            ) as pool:
+                computed = list(
+                    pool.map(_execute_task, pending_tasks, chunksize=chunksize)
+                )
+        for i, result in zip(pending, computed):
+            results[i] = result
+            if store is not None and keys[i] is not None:
+                store.put(keys[i], result)
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
 
 
 # -- result fingerprints -------------------------------------------------

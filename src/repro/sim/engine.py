@@ -9,7 +9,7 @@ generators, controllers, metric snapshots) register through
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from repro.errors import SimulationError
 from repro.sim.clock import Clock
@@ -55,6 +55,29 @@ class Engine:
             )
         return self.queue.push(time, callback, priority)
 
+    def at_many(
+        self, items: Iterable[Sequence], priority: int = 0
+    ) -> List[Event]:
+        """Batch-schedule ``(time, callback)`` (or ``(time, callback,
+        priority)``) pairs via :meth:`EventQueue.push_many`.
+
+        One O(n) heapify replaces n sift-ups — the fast path for
+        arrival bursts where a load generator materialises a whole
+        window (or run) of arrivals at once.
+        """
+        now = self.clock.now
+        prepared = []
+        for item in items:
+            time, callback = item[0], item[1]
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule event in the past: now={now}, at={time}"
+                )
+            prepared.append(
+                (time, callback, item[2] if len(item) > 2 else priority)
+            )
+        return self.queue.push_many(prepared)
+
     def after(self, delay: float, callback: EventCallback, priority: int = 0) -> Event:
         """Schedule ``callback`` ``delay`` seconds from now (``delay`` >= 0)."""
         if delay < 0:
@@ -73,6 +96,9 @@ class Engine:
 
         The callback fires at ``first_at`` (default: now + period) and then
         every ``period`` seconds until cancelled or ``until`` is passed.
+        A ``first_at`` already in the past — e.g. computed against a
+        clock that has since resumed and advanced — clamps to *now*
+        instead of crashing the schedule.
         """
         if period <= 0:
             raise SimulationError(f"period must be positive, got {period!r}")
@@ -86,7 +112,11 @@ class Engine:
             if until is None or next_t <= until:
                 state["event"] = self.at(next_t, fire, priority)
 
-        start = self.clock.now + period if first_at is None else first_at
+        start = (
+            self.clock.now + period
+            if first_at is None
+            else max(float(first_at), self.clock.now)
+        )
         if until is None or start <= until:
             state["event"] = self.at(start, fire, priority)
 

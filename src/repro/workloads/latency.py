@@ -13,7 +13,6 @@ in one Servpod share the machine, so they see the same pressure.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 import numpy as np
 
@@ -88,17 +87,31 @@ class LatencyModel:
         """Draw ``n`` Servpod sojourn times (ms) as a float array.
 
         Each member component contributes an independent lognormal draw;
-        the Servpod sojourn is their sum.
+        the Servpod sojourn is their sum. The whole window is drawn in
+        one broadcast ``lognormal`` call over a ``(components, n)``
+        block: elementwise generation walks that block in C order, so
+        the underlying bit stream is consumed exactly as the historical
+        per-component loop consumed it and every draw is bit-identical
+        (asserted against a scalar reference in the tests).
         """
         if n < 0:
             raise ConfigurationError(f"cannot sample {n} sojourns")
-        total: Optional[np.ndarray] = None
-        for comp in pod.components:
-            median = cls.component_median_ms(comp, load, slowdown)
-            sigma = cls.component_sigma(comp, load, sigma_inflation)
-            draws = rng.lognormal(mean=math.log(median), sigma=sigma, size=n)
-            total = draws if total is None else total + draws
-        assert total is not None
+        comps = pod.components
+        # math.log (not np.log) keeps the per-component means bit-equal
+        # to the historical scalar path.
+        means = np.array(
+            [math.log(cls.component_median_ms(c, load, slowdown)) for c in comps]
+        )
+        sigmas = np.array(
+            [cls.component_sigma(c, load, sigma_inflation) for c in comps]
+        )
+        draws = rng.lognormal(
+            mean=means[:, None], sigma=sigmas[:, None], size=(len(comps), n)
+        )
+        # Sequential row sum preserves the scalar path's addition order.
+        total = draws[0]
+        for row in draws[1:]:
+            total = total + row
         return total
 
 

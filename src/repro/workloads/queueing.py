@@ -17,6 +17,7 @@ is exactly the knee the analytic curves encode.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -72,6 +73,9 @@ class QueueingComponent:
         self.service_sigma = float(service_sigma)
         self.workers = int(workers)
 
+    #: Inter-arrival gaps are drawn in batches of this size.
+    _ARRIVAL_CHUNK = 1024
+
     @property
     def capacity_qps(self) -> float:
         """Saturation throughput: workers / E[service]."""
@@ -91,6 +95,12 @@ class QueueingComponent:
 
         Requests arriving during the warm-up period are served but not
         counted, so the statistics reflect (near-)steady state.
+
+        Arrival times and service times are drawn in vectorized batches
+        and batch-scheduled through :meth:`Engine.at_many`; both streams
+        are consumed in exactly the order the historical one-draw-per-
+        event loop consumed them, so results are bit-identical (pinned
+        by a scalar reference implementation in the tests).
         """
         if arrival_qps <= 0 or duration_s <= 0:
             raise ConfigurationError(
@@ -101,8 +111,22 @@ class QueueingComponent:
         service_rng = streams.stream("queue:service")
         engine = Engine()
 
+        arrival_times = self._draw_arrival_times(
+            arrival_rng, arrival_qps, duration_s
+        )
+        # One batch replaces one scalar lognormal per fired arrival.
+        service_times: List[float] = (
+            service_rng.lognormal(
+                math.log(self.service_ms / 1000.0),
+                self.service_sigma,
+                size=len(arrival_times),
+            ).tolist()
+            if arrival_times
+            else []
+        )
+
         busy = [0]                    # busy workers
-        queue: List[tuple] = []       # (arrival time, service time)
+        waiting: deque = deque()      # (arrival time, service time)
         sojourns: List[float] = []
         waits: List[float] = []
 
@@ -114,27 +138,22 @@ class QueueingComponent:
                 if arrived >= warmup_s:
                     sojourns.append((t_done - arrived) * 1000.0)
                     waits.append((t_done - arrived - service_s) * 1000.0)
-                if queue:
-                    q_arrived, q_service = queue.pop(0)
+                if waiting:
+                    q_arrived, q_service = waiting.popleft()
                     start_service(t_done, q_arrived, q_service)
 
             engine.after(service_s, finish)
 
+        next_service = iter(service_times)
+
         def arrive(t: float) -> None:
-            service_s = float(
-                service_rng.lognormal(
-                    math.log(self.service_ms / 1000.0), self.service_sigma
-                )
-            )
+            service_s = next(next_service)
             if busy[0] < self.workers:
                 start_service(t, t, service_s)
             else:
-                queue.append((t, service_s))
-            gap = float(arrival_rng.exponential(1.0 / arrival_qps))
-            if t + gap <= duration_s:
-                engine.at(t + gap, arrive)
+                waiting.append((t, service_s))
 
-        engine.at(float(arrival_rng.exponential(1.0 / arrival_qps)), arrive)
+        engine.at_many((t, arrive) for t in arrival_times)
         engine.run(until=duration_s + 60.0)  # drain in-flight requests
 
         if not sojourns:
@@ -151,6 +170,45 @@ class QueueingComponent:
             cov=float(arr.std(ddof=1) / mean) if len(arr) > 1 else 0.0,
             mean_wait_ms=float(np.mean(waits)),
         )
+
+    def _draw_arrival_times(
+        self,
+        arrival_rng: np.random.Generator,
+        arrival_qps: float,
+        duration_s: float,
+    ) -> List[float]:
+        """Materialise the Poisson arrival process as a list of times.
+
+        Gaps are drawn in chunks; when the overshooting gap lands
+        mid-chunk the generator is rewound and exactly the prefix the
+        scalar loop would have consumed (the in-range gaps plus the one
+        overshoot) is re-drawn, so the arrival stream's final state
+        matches the historical one-gap-per-event loop bit-for-bit.
+        """
+        scale = 1.0 / arrival_qps
+        first = float(arrival_rng.exponential(scale))
+        # Arrivals past the drain horizon would never fire — and the
+        # scalar loop never drew a gap for them either.
+        if first > duration_s + 60.0:
+            return []
+        times: List[float] = [first]
+        t = first
+        while True:
+            state = arrival_rng.bit_generator.state
+            gaps = arrival_rng.exponential(scale, size=self._ARRIVAL_CHUNK)
+            # cumsum accumulates strictly left to right, so seeding it
+            # with ``t`` reproduces the scalar ``t += gap`` chain
+            # bit-for-bit.
+            chunk_times = np.cumsum(np.concatenate(((t,), gaps)))[1:]
+            over = np.nonzero(chunk_times > duration_s)[0]
+            if over.size:
+                j = int(over[0])
+                arrival_rng.bit_generator.state = state
+                arrival_rng.exponential(scale, size=j + 1)
+                times.extend(chunk_times[:j].tolist())
+                return times
+            times.extend(chunk_times.tolist())
+            t = float(chunk_times[-1])
 
 
 def load_latency_curve(

@@ -67,9 +67,29 @@ class Service:
     def sample_e2e(
         self, load: float, n: int, state: Optional[ServiceState] = None
     ) -> np.ndarray:
-        """Draw ``n`` end-to-end request latencies (ms) at ``load``."""
-        sojourns = self.sample_sojourns(load, n, state)
-        return sojourns["__e2e__"]
+        """Draw ``n`` end-to-end request latencies (ms) at ``load``.
+
+        This is the runtime monitoring hot path (one call per control
+        window), so it walks the call tree without the per-Servpod
+        bookkeeping of :meth:`sample_sojourns`. Both paths draw the same
+        lognormals in the same order, so their e2e latencies are
+        bit-identical.
+        """
+        if n <= 0:
+            raise ConfigurationError(f"need n >= 1 requests, got {n}")
+        state = state or ServiceState.solo()
+        rng = self.streams.stream(f"service:{self.spec.name}:latency")
+        counts = self._type_counts(n, rng)
+        e2e = np.empty(n)
+        offset = 0
+        for rtype, count in counts:
+            if count == 0:
+                continue
+            e2e[offset : offset + count] = self._walk_tree(
+                rtype.root, load, count, state, rng, None
+            )
+            offset += count
+        return e2e
 
     def sample_sojourns(
         self, load: float, n: int, state: Optional[ServiceState] = None
@@ -119,9 +139,14 @@ class Service:
         n: int,
         state: ServiceState,
         rng: np.random.Generator,
-        totals: Dict[str, np.ndarray],
+        totals: Optional[Dict[str, np.ndarray]],
     ) -> np.ndarray:
-        """Vectorized recursion over the call tree; returns subtree times."""
+        """Vectorized recursion over the call tree; returns subtree times.
+
+        ``totals`` accumulates per-Servpod sojourns when provided;
+        passing ``None`` (the ``sample_e2e`` fast path) skips that
+        bookkeeping without touching the RNG stream.
+        """
         pod = self.spec.servpod(node.servpod)
         draws = LatencyModel.sample_servpod_ms(
             pod,
@@ -131,8 +156,9 @@ class Service:
             slowdown=state.slowdown(node.servpod),
             sigma_inflation=state.sigma_inflation(node.servpod),
         )
-        prev = totals.get(node.servpod)
-        totals[node.servpod] = draws if prev is None else prev + draws
+        if totals is not None:
+            prev = totals.get(node.servpod)
+            totals[node.servpod] = draws if prev is None else prev + draws
         if not node.children:
             return draws
         child_times = [

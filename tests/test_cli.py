@@ -50,3 +50,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "kernel events" in out
         assert "master" in out
+
+
+class TestCacheCli:
+    def test_grid_cache_flag_defaults_on(self):
+        args = build_parser().parse_args(["grid", "servpod"])
+        assert args.cache is True
+
+    def test_grid_no_cache_flag(self):
+        args = build_parser().parse_args(["grid", "servpod", "--no-cache"])
+        assert args.cache is False
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+    def test_cache_stats(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("RHYTHM_CACHE_DIR", str(tmp_path / "cachedir"))
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cachedir" in out
+        assert "entries" in out
+
+    def test_cache_clear(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("RHYTHM_CACHE_DIR", str(tmp_path / "cachedir"))
+        from repro.cache import CacheStore, stable_hash
+
+        store = CacheStore(tmp_path / "cachedir")
+        store.put(stable_hash("x"), 1)
+        assert main(["cache", "clear"]) == 0
+        assert "1" in capsys.readouterr().out
+        assert store.stats().entries == 0

@@ -82,3 +82,105 @@ class TestCrossValidation:
         # Both convex: last-step growth dominates first-step growth.
         assert (analytic[-1] - analytic[-2]) > (analytic[1] - analytic[0])
         assert (emergent[-1] - emergent[-2]) > (emergent[1] - emergent[0])
+
+
+class TestScalarReferenceIdentity:
+    """The batched simulate must match the historical scalar loop exactly."""
+
+    @staticmethod
+    def _scalar_simulate(component, arrival_qps, duration_s, streams, warmup_s=2.0):
+        # Verbatim port of the historical one-draw-per-event loop.
+        import math
+
+        import numpy as np
+
+        from repro.sim.engine import Engine
+        from repro.workloads.queueing import QueueingStats
+
+        arrival_rng = streams.stream("queue:arrivals")
+        service_rng = streams.stream("queue:service")
+        engine = Engine()
+        busy = [0]
+        queue: list = []
+        sojourns: list = []
+        waits: list = []
+
+        def start_service(t, arrived, service_s):
+            busy[0] += 1
+
+            def finish(t_done):
+                busy[0] -= 1
+                if arrived >= warmup_s:
+                    sojourns.append((t_done - arrived) * 1000.0)
+                    waits.append((t_done - arrived - service_s) * 1000.0)
+                if queue:
+                    q_arrived, q_service = queue.pop(0)
+                    start_service(t_done, q_arrived, q_service)
+
+            engine.after(service_s, finish)
+
+        def arrive(t):
+            service_s = float(
+                service_rng.lognormal(
+                    math.log(component.service_ms / 1000.0),
+                    component.service_sigma,
+                )
+            )
+            if busy[0] < component.workers:
+                start_service(t, t, service_s)
+            else:
+                queue.append((t, service_s))
+            gap = float(arrival_rng.exponential(1.0 / arrival_qps))
+            if t + gap <= duration_s:
+                engine.at(t + gap, arrive)
+
+        engine.at(float(arrival_rng.exponential(1.0 / arrival_qps)), arrive)
+        engine.run(until=duration_s + 60.0)
+        arr = np.asarray(sojourns)
+        mean = float(arr.mean())
+        return QueueingStats(
+            offered_load=arrival_qps / component.capacity_qps,
+            completed=len(sojourns),
+            mean_sojourn_ms=mean,
+            p99_sojourn_ms=float(np.percentile(arr, 99.0)),
+            cov=float(arr.std(ddof=1) / mean) if len(arr) > 1 else 0.0,
+            mean_wait_ms=float(np.mean(waits)),
+        )
+
+    @pytest.mark.parametrize("load,workers", [(0.3, 4), (0.9, 2)])
+    def test_stats_bit_identical(self, load, workers):
+        component = QueueingComponent(
+            service_ms=5.0, service_sigma=0.4, workers=workers
+        )
+        qps = load * component.capacity_qps
+        ref_streams = RandomStreams(13)
+        new_streams = RandomStreams(13)
+        reference = self._scalar_simulate(component, qps, 20.0, ref_streams)
+        batched = component.simulate(qps, 20.0, new_streams)
+        assert batched == reference  # every field, bit for bit
+
+    def test_rng_stream_consumption_identical(self):
+        # After the run, both implementations must leave the generators
+        # in the same state — proof that the batched path consumed
+        # exactly the draws the scalar loop consumed (including the
+        # final overshooting inter-arrival gap).
+        component = QueueingComponent(service_ms=5.0, workers=4)
+        qps = 0.7 * component.capacity_qps
+        ref_streams = RandomStreams(5)
+        new_streams = RandomStreams(5)
+        self._scalar_simulate(component, qps, 15.0, ref_streams)
+        component.simulate(qps, 15.0, new_streams)
+        for name in ("queue:arrivals", "queue:service"):
+            ref_state = ref_streams.stream(name).bit_generator.state
+            new_state = new_streams.stream(name).bit_generator.state
+            assert ref_state == new_state
+
+    def test_chunk_boundary_identical(self):
+        # Enough arrivals to cross several _ARRIVAL_CHUNK boundaries.
+        component = QueueingComponent(service_ms=2.0, workers=8)
+        qps = 0.5 * component.capacity_qps
+        reference = self._scalar_simulate(
+            component, qps, 10.0, RandomStreams(3)
+        )
+        assert reference.completed > QueueingComponent._ARRIVAL_CHUNK
+        assert component.simulate(qps, 10.0, RandomStreams(3)) == reference

@@ -228,3 +228,90 @@ class TestRandomStreams:
         assert "x" not in streams
         streams.stream("x")
         assert "x" in streams
+
+
+class TestPushMany:
+    def test_pop_order_matches_individual_pushes(self):
+        a, b = EventQueue(), EventQueue()
+        cb = lambda t: None  # noqa: E731
+        items = [(3.0, cb, 0), (1.0, cb, 5), (1.0, cb, 0), (2.0, cb, 0)]
+        for time, callback, priority in items:
+            a.push(time, callback, priority)
+        b.push_many(items)
+        order_a = [(e.time, e.priority, e.seq) for e in iter(a.pop, None)]
+        order_b = [(e.time, e.priority, e.seq) for e in iter(b.pop, None)]
+        assert order_a == order_b
+
+    def test_interleaves_with_existing_events(self):
+        q = EventQueue()
+        q.push(2.0, lambda t: None)
+        q.push_many([(1.0, lambda t: None, 0), (3.0, lambda t: None, 0)])
+        assert [e.time for e in iter(q.pop, None)] == [1.0, 2.0, 3.0]
+
+    def test_len_counts_batch(self):
+        q = EventQueue()
+        q.push_many([(1.0, lambda t: None, 0)] * 4)
+        assert len(q) == 4
+
+    def test_batch_event_cancel(self):
+        q = EventQueue()
+        events = q.push_many([(1.0, lambda t: None, 0)] * 3)
+        events[1].cancel()
+        assert len(q) == 2
+        assert [e.seq for e in iter(q.pop, None)] == [0, 2]
+
+    def test_rejects_negative_time(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.push_many([(1.0, lambda t: None, 0), (-0.5, lambda t: None, 0)])
+
+    def test_empty_batch(self):
+        q = EventQueue()
+        assert q.push_many([]) == []
+        assert len(q) == 0
+
+
+class TestEngineAtMany:
+    def test_fires_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.at_many(
+            [(2.0, lambda t: fired.append(t)), (1.0, lambda t: fired.append(t))]
+        )
+        engine.run()
+        assert fired == [1.0, 2.0]
+
+    def test_triples_carry_priority(self):
+        engine = Engine()
+        fired = []
+        engine.at_many(
+            [
+                (1.0, lambda t: fired.append("ctl"), Engine.PRIORITY_CONTROL),
+                (1.0, lambda t: fired.append("arr"), Engine.PRIORITY_ARRIVAL),
+            ]
+        )
+        engine.run()
+        assert fired == ["arr", "ctl"]
+
+    def test_rejects_past_times(self):
+        engine = Engine(start=5.0)
+        with pytest.raises(SimulationError):
+            engine.at_many([(6.0, lambda t: None), (4.0, lambda t: None)])
+
+
+class TestEveryFirstAtClamp:
+    def test_past_first_at_clamps_to_now(self):
+        # A schedule computed against a resumed clock may land in the
+        # past; it must clamp to now instead of crashing.
+        engine = Engine(start=10.0)
+        fired = []
+        engine.every(1.0, fired.append, first_at=7.0, until=12.0)
+        engine.run(until=12.0)
+        assert fired == [10.0, 11.0, 12.0]
+
+    def test_future_first_at_unchanged(self):
+        engine = Engine(start=10.0)
+        fired = []
+        engine.every(1.0, fired.append, first_at=10.5, until=12.0)
+        engine.run(until=12.0)
+        assert fired == [10.5, 11.5]

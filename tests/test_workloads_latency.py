@@ -136,3 +136,63 @@ class TestBuildExecution:
     def test_bad_split_rejected(self):
         with pytest.raises(ConfigurationError):
             build_execution(chain("a"), lambda pod: 1.0, split=1.5)
+
+
+class TestVectorizedSamplingIdentity:
+    """Broadcast sampling must equal the historical scalar loop bit-for-bit."""
+
+    @staticmethod
+    def _scalar_reference(pod, load, n, rng, slowdown=1.0, sigma_inflation=1.0):
+        import math
+
+        total = None
+        for c in pod.components:
+            median = LatencyModel.component_median_ms(c, load, slowdown)
+            sigma = LatencyModel.component_sigma(c, load, sigma_inflation)
+            draws = rng.lognormal(mean=math.log(median), sigma=sigma, size=n)
+            total = draws if total is None else total + draws
+        return total
+
+    def _pod(self) -> ServpodSpec:
+        comps = tuple(
+            ComponentSpec(
+                name=f"c{i}", base_ms=2.0 + 3.0 * i, sigma0=0.2 + 0.05 * i,
+                lin_growth=0.4, sat_growth=0.5, sigma_growth=2.0, cov_knee=0.6,
+            )
+            for i in range(3)
+        )
+        return ServpodSpec("multi", comps, llc_ways=4, memory_gb=8.0)
+
+    @pytest.mark.parametrize("load,n", [(0.2, 1), (0.55, 257), (0.95, 1000)])
+    def test_draws_bit_identical(self, load, n):
+        pod = self._pod()
+        ref_rng = RandomStreams(9).stream("s")
+        new_rng = RandomStreams(9).stream("s")
+        reference = self._scalar_reference(pod, load, n, ref_rng)
+        batched = LatencyModel.sample_servpod_ms(pod, load, n, new_rng)
+        assert np.array_equal(batched, reference)
+        # Stream state equality: same number of underlying draws consumed.
+        assert ref_rng.bit_generator.state == new_rng.bit_generator.state
+
+    def test_interference_parameters_identical(self):
+        pod = self._pod()
+        ref_rng = RandomStreams(2).stream("s")
+        new_rng = RandomStreams(2).stream("s")
+        reference = self._scalar_reference(
+            pod, 0.7, 500, ref_rng, slowdown=1.4, sigma_inflation=1.2
+        )
+        batched = LatencyModel.sample_servpod_ms(
+            pod, 0.7, 500, new_rng, slowdown=1.4, sigma_inflation=1.2
+        )
+        assert np.array_equal(batched, reference)
+
+
+class TestServiceE2eFastPath:
+    def test_sample_e2e_matches_sojourn_walk_exactly(self):
+        from repro.workloads.service import Service
+
+        a = Service(make_tiny_service(), RandomStreams(21))
+        b = Service(make_tiny_service(), RandomStreams(21))
+        fast = a.sample_e2e(0.6, 400)
+        full = b.sample_sojourns(0.6, 400)["__e2e__"]
+        assert np.array_equal(fast, full)
