@@ -6,10 +6,14 @@ Runs, in order:
 1. a tiny parallel grid (1 service, 2 BE jobs, 2 loads, 20 simulated
    seconds per cell) twice — inline and on a 2-worker pool — and asserts
    the results are bit-identical, then
-2. the same grid cold-then-warm against a throwaway disk cache and
+2. the profiling pipeline twice — the serial ``Rhythm`` path and the
+   fanned-out pool path — asserting identical artifacts, plus a
+   cold/warm profiling cache round trip that must execute zero
+   simulations when warm, then
+3. the same grid cold-then-warm against a throwaway disk cache and
    asserts the warm run hits every cell (zero recomputation) with
    bit-identical results, then
-3. the tier-1 test suite (``pytest -x -q`` over ``tests/``).
+4. the tier-1 test suite (``pytest -x -q`` over ``tests/``).
 
 Exit code is non-zero on any failure, so CI can gate pool-runner and
 cache regressions without paying for the full figure grids. Usage::
@@ -67,6 +71,69 @@ def smoke_parallel_grid() -> None:
     print(
         f"smoke grid OK: {2 * len(cells)} simulations x2 paths, "
         f"{events} events, bit-identical, {elapsed:.1f}s"
+    )
+
+
+def smoke_profiling() -> None:
+    """Profiling identity gate plus the cold/warm profiling round trip."""
+    import shutil
+    import tempfile
+
+    from repro.cache import CacheStore
+    from repro.experiments.runner import clear_rhythm_cache
+    from repro.parallel.artifact import artifact_for
+    from repro.parallel.profile import (
+        ProfileStats,
+        clear_profile_memo,
+        profile_service_parallel,
+    )
+    from repro.workloads.catalog import LC_CATALOG
+
+    spec = LC_CATALOG["Redis"]()
+    clear_rhythm_cache()
+    clear_profile_memo()
+    t0 = time.perf_counter()
+    serial = artifact_for(spec, seed=0, probe_slacklimits=False)
+    clear_profile_memo()
+    pooled = profile_service_parallel(
+        spec, seed=0, probe_slacklimits=False, workers=2
+    )
+    identity_s = time.perf_counter() - t0
+    if pooled != serial:
+        raise AssertionError("pooled profiling diverged from the serial pipeline")
+
+    cache_dir = tempfile.mkdtemp(prefix="rhythm-smoke-profile-")
+    try:
+        store = CacheStore(cache_dir)
+        clear_profile_memo()
+        cold_stats = ProfileStats()
+        t0 = time.perf_counter()
+        cold = profile_service_parallel(
+            spec, seed=0, probe_slacklimits=False, workers=2,
+            cache=store, stats=cold_stats,
+        )
+        cold_s = time.perf_counter() - t0
+        clear_profile_memo()  # force everything back from disk
+        warm_stats = ProfileStats()
+        t0 = time.perf_counter()
+        warm = profile_service_parallel(
+            spec, seed=0, probe_slacklimits=False, workers=2,
+            cache=store, stats=warm_stats,
+        )
+        warm_s = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    if warm_stats.sweep_executed or warm_stats.slack_executed:
+        raise AssertionError(
+            f"warm profiling re-ran simulations: "
+            f"{warm_stats.sweep_executed} sweep, "
+            f"{warm_stats.slack_executed} slacklimit"
+        )
+    if warm != cold or warm != serial:
+        raise AssertionError("warm profiling artifact diverged")
+    print(
+        f"smoke profiling OK: serial==pooled ({identity_s:.1f}s), "
+        f"cold {cold_s:.1f}s -> warm {warm_s:.3f}s, zero simulations warm"
     )
 
 
@@ -148,6 +215,7 @@ def main() -> int:
     args = parser.parse_args()
     sys.path.insert(0, str(SRC))
     smoke_parallel_grid()
+    smoke_profiling()
     smoke_cache()
     if args.skip_tests:
         return 0

@@ -7,8 +7,9 @@
 #
 # Runs, in order:
 #   1. the tier-1 test suite (PYTHONPATH=src pytest -x -q), then
-#   2. the perf smoke gate (parallel-grid bit-identity + cold/warm
-#      cache round trip) from scripts/bench_smoke.py.
+#   2. the perf smoke gate (parallel-grid bit-identity, profiling
+#      identity + cold/warm profiling round trip, and the cold/warm
+#      grid cache round trip) from scripts/bench_smoke.py.
 #
 # Any failure aborts with a non-zero exit code.
 

@@ -37,7 +37,10 @@ import numpy as np
 from repro.errors import CacheKeyError
 
 #: Version salt mixed into every key. Bump on result-affecting changes.
-CODE_VERSION_SALT = "rhythm-repro-cache:1"
+#: :2 — profiling RNG restructure: per-load-point stream registries and
+#: candidate-derived (repeated) SLA-probe streams changed what the same
+#: config simulates, so every :1 entry must miss.
+CODE_VERSION_SALT = "rhythm-repro-cache:2"
 
 _PRIMITIVE_TAGS = {
     type(None): b"N",

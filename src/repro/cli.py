@@ -12,10 +12,13 @@ Exposes the library's main entry points without writing Python::
 
 Every command prints the same text tables the benchmarks produce. Grid
 commands fan cells out to the parallel grid engine (worker count from
-``--workers``, the ``RHYTHM_WORKERS`` env var, or the CPU count) and,
-by default, memoize finished cells in the content-addressed result
-cache so warm re-runs only execute changed cells (``--no-cache``, or
-``RHYTHM_CACHE=off``, disables this).
+``--workers``, the ``RHYTHM_WORKERS`` env var, or the CPU count); the
+profiling phase fans out through the same persistent process pool
+(``--profile-workers`` / ``RHYTHM_PROFILE_WORKERS``), so a cold figure
+run pays pool startup once. Both phases, by default, memoize results in
+the content-addressed cache — artifacts at load-point granularity,
+finished cells whole — so warm re-runs only execute changed work
+(``--no-cache``, or ``RHYTHM_CACHE=off``, disables this).
 """
 
 from __future__ import annotations
@@ -195,8 +198,12 @@ def cmd_grid(args: argparse.Namespace) -> int:
     )
     from repro.experiments.figures.figure15 import run_figure15, worst_safety_cell
     from repro.parallel.grid import GridCacheStats, resolve_workers
+    from repro.parallel.pool import resolve_profile_workers
 
     workers = resolve_workers(args.workers)
+    profile_workers = resolve_profile_workers(
+        args.profile_workers if args.profile_workers is not None else args.workers
+    )
     for name in args.services or ():
         lc_service_spec(name)  # fail fast; grids only take catalog services
     be_specs = [be_job_spec(name) for name in args.be_jobs] if args.be_jobs else None
@@ -214,6 +221,7 @@ def cmd_grid(args: argparse.Namespace) -> int:
             servpods=servpods, be_specs=be_specs, loads=loads,
             seed=args.seed, config=config, workers=workers,
             cache=cache, cache_stats=cache_stats,
+            profile_workers=profile_workers,
         )
         print(render_table(
             ["Servpod", "BE tput gain", "CPU gain", "MemBW gain"],
@@ -229,6 +237,7 @@ def cmd_grid(args: argparse.Namespace) -> int:
             services=args.services or None, be_specs=be_specs, loads=loads,
             seed=args.seed, config=config, workers=workers,
             cache=cache, cache_stats=cache_stats,
+            profile_workers=profile_workers,
         )
         emu = improvement_table(rows, "emu_improvement")
         cpu = improvement_table(rows, "cpu_improvement")
@@ -244,6 +253,7 @@ def cmd_grid(args: argparse.Namespace) -> int:
             services=args.services or None, be_specs=be_specs,
             duration_s=args.duration, seed=args.seed, workers=workers,
             cache=cache, cache_stats=cache_stats,
+            profile_workers=profile_workers,
         )
         worst = worst_safety_cell(rows)
         print(render_table(
@@ -334,6 +344,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-cell simulated seconds")
     p.add_argument("--workers", type=int, default=None,
                    help="process-pool size (default: RHYTHM_WORKERS or CPUs)")
+    p.add_argument("--profile-workers", type=int, default=None,
+                   help="profiling fan-out width (default: --workers, then "
+                        "RHYTHM_PROFILE_WORKERS, then RHYTHM_WORKERS); the "
+                        "profiling and cell phases share one process pool")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--cache", action=argparse.BooleanOptionalAction, default=True,
                    help="reuse cached cell results and cache new ones "

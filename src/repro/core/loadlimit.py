@@ -16,6 +16,22 @@ import numpy as np
 from repro.errors import ProfilingError
 
 
+def sojourn_mean_cov(values: Sequence[float]) -> tuple:
+    """``(mean, CoV)`` of one Servpod's sojourn samples at one load.
+
+    The CoV uses the sample standard deviation (ddof=1) — the statistic
+    the Figure 8 rule thresholds on — and degenerates to 0 for a single
+    sample or a zero mean. Shared by the serial profiler sweep and the
+    parallel per-load-point tasks so both compute the exact same curve.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ProfilingError("cannot compute a CoV from zero sojourn samples")
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return mean, (std / mean if mean > 0 else 0.0)
+
+
 def derive_loadlimit(
     loads: Sequence[float],
     covs: Sequence[float],

@@ -16,17 +16,24 @@ Three collection modes:
   that ship their own tracer (SNMS);
 - ``"direct"`` — sample sojourns straight from the generative model
   (fast path for large benchmark grids; statistically identical).
+
+Each load point of the sweep is profiled by :func:`profile_load_point`,
+a pure function of ``(spec, load, root seed, sampling parameters)``
+whose randomness comes from a child stream registry derived from those
+coordinates alone. Load points are therefore mutually independent —
+re-running one load re-draws exactly its own samples — which is what
+lets :mod:`repro.parallel.profile` fan the sweep out across a process
+pool and cache it at load-point granularity while staying bit-identical
+to this serial sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.contribution import ContributionAnalyzer, ContributionResult
-from repro.core.loadlimit import loadlimit_table
+from repro.core.loadlimit import loadlimit_table, sojourn_mean_cov
 from repro.errors import ProfilingError
 from repro.sim.rng import RandomStreams
 from repro.tracing.causality import CausalityMatcher
@@ -60,6 +67,137 @@ class ProfilingResult:
         """T_i^j for one Servpod and load index."""
         return self.mean_sojourns[servpod][load_index]
 
+    @classmethod
+    def from_points(
+        cls, service: str, points: Sequence["LoadPointProfile"]
+    ) -> "ProfilingResult":
+        """Assemble a sweep result from independent load-point profiles.
+
+        ``points`` must be in ascending-load (sweep) order; this is the
+        inverse of running :func:`profile_load_point` per load.
+        """
+        result = cls(service=service, loads=[p.load for p in points])
+        if not points:
+            return result
+        pods = [pod for pod, _ in points[0].mean_sojourns]
+        result.mean_sojourns = {pod: [] for pod in pods}
+        result.covs = {pod: [] for pod in pods}
+        for point in points:
+            means = dict(point.mean_sojourns)
+            covs = dict(point.covs)
+            for pod in pods:
+                result.mean_sojourns[pod].append(means[pod])
+                result.covs[pod].append(covs[pod])
+            result.tails.append(point.tail_ms)
+        return result
+
+
+@dataclass(frozen=True)
+class LoadPointProfile:
+    """One load point's sweep statistics (the unit of sub-profile caching).
+
+    Mappings are sorted ``(servpod, value)`` tuples so the profile is
+    hashable, picklable and deterministic to serialise — the same
+    conventions as :class:`~repro.parallel.artifact.RhythmArtifact`.
+    """
+
+    service: str
+    load: float
+    mean_sojourns: Tuple[Tuple[str, float], ...]
+    covs: Tuple[Tuple[str, float], ...]
+    tail_ms: float
+
+
+def load_point_streams(spec_name: str, load: float, root_seed: int) -> RandomStreams:
+    """The stream registry of one ``(service, load, seed)`` sweep point.
+
+    Derived from the coordinates alone, so any process (or cached
+    re-run) profiling this point draws exactly the same samples.
+    """
+    return RandomStreams(root_seed).spawn(f"profile:{spec_name}:{load!r}")
+
+
+def profile_load_point(
+    spec: ServiceSpec,
+    load: float,
+    root_seed: int = 0,
+    requests_per_load: int = 300,
+    tail_samples: int = 2500,
+    mode: str = "tracer",
+    noise_per_request: float = 2.0,
+) -> LoadPointProfile:
+    """Profile one load point of the solo-run sweep (pure, independent).
+
+    Collects per-Servpod sojourn statistics (via the chosen collection
+    mode) and the end-to-end tail at ``load``, drawing only from this
+    point's own :func:`load_point_streams` registry.
+    """
+    if mode not in _MODES:
+        raise ProfilingError(f"unknown profiling mode {mode!r}; pick from {_MODES}")
+    streams = load_point_streams(spec.name, load, root_seed)
+    service = Service(spec, streams)
+    per_pod = _collect_sojourns(
+        spec, service, streams, load, requests_per_load, mode, noise_per_request
+    )
+    means: List[Tuple[str, float]] = []
+    covs: List[Tuple[str, float]] = []
+    for pod in spec.servpod_names:
+        values = per_pod.get(pod, [])
+        if not values:
+            raise ProfilingError(
+                f"{spec.name}: no sojourns observed at {pod!r} (load {load})"
+            )
+        mean, cov = sojourn_mean_cov(values)
+        means.append((pod, mean))
+        covs.append((pod, cov))
+    tail = service.tail_latency(load, tail_samples)
+    return LoadPointProfile(
+        service=spec.name,
+        load=float(load),
+        mean_sojourns=tuple(means),
+        covs=tuple(covs),
+        tail_ms=tail,
+    )
+
+
+def _collect_sojourns(
+    spec: ServiceSpec,
+    service: Service,
+    streams: RandomStreams,
+    load: float,
+    requests_per_load: int,
+    mode: str,
+    noise_per_request: float,
+) -> Dict[str, List[float]]:
+    """Per-request sojourn samples per Servpod at one load level."""
+    if mode == "direct":
+        sampled = service.sample_sojourns(load, requests_per_load)
+        out: Dict[str, List[float]] = {}
+        for pod in spec.servpod_names:
+            arr = sampled[pod]
+            out[pod] = arr[arr > 0].tolist()
+        return out
+
+    records = service.build_request_records(load, requests_per_load)
+    if mode == "jaeger":
+        tracer = JaegerTracer()
+        tracer.record(records)
+        return tracer.per_request()
+
+    endpoints = default_endpoints(spec.servpod_names)
+    emitter = TraceEmitter(
+        endpoints,
+        EmitterConfig(
+            blocking=True,
+            persistent_connections=False,
+            noise_per_request=noise_per_request,
+            seed=streams.stream("profiler:emitter-seed").integers(0, 2**31),
+        ),
+    )
+    events = emitter.emit(records)
+    extractor = SojournExtractor(CausalityMatcher(endpoints))
+    return extractor.per_request(events)
+
 
 class ServiceProfiler:
     """Runs the solo-run profiling sweep for one LC service."""
@@ -89,64 +227,30 @@ class ServiceProfiler:
         self.tail_samples = int(tail_samples)
         self.mode = mode
         self.noise_per_request = float(noise_per_request)
-        self._service = Service(service, self.streams)
 
     # -- the sweep ----------------------------------------------------------
 
     def profile(self) -> ProfilingResult:
-        """Run the sweep and return the collected statistics."""
-        result = ProfilingResult(service=self.spec.name, loads=list(self.loads))
-        pods = self.spec.servpod_names
-        result.mean_sojourns = {pod: [] for pod in pods}
-        result.covs = {pod: [] for pod in pods}
-        for load in self.loads:
-            per_pod = self._sojourns_at(load)
-            for pod in pods:
-                values = per_pod.get(pod, [])
-                if not values:
-                    raise ProfilingError(
-                        f"{self.spec.name}: no sojourns observed at {pod!r} "
-                        f"(load {load})"
-                    )
-                arr = np.asarray(values)
-                mean = float(arr.mean())
-                std = float(arr.std(ddof=1)) if len(arr) > 1 else 0.0
-                result.mean_sojourns[pod].append(mean)
-                result.covs[pod].append(std / mean if mean > 0 else 0.0)
-            result.tails.append(
-                self._service.tail_latency(load, self.tail_samples)
-            )
-        return result
+        """Run the sweep and return the collected statistics.
 
-    def _sojourns_at(self, load: float) -> Dict[str, List[float]]:
-        """Per-request sojourn samples per Servpod at one load level."""
-        if self.mode == "direct":
-            sampled = self._service.sample_sojourns(load, self.requests_per_load)
-            out: Dict[str, List[float]] = {}
-            for pod in self.spec.servpod_names:
-                arr = sampled[pod]
-                out[pod] = arr[arr > 0].tolist()
-            return out
+        Each load point is an independent :func:`profile_load_point`
+        call, so this serial sweep is bit-identical to the fanned-out
+        pipeline in :mod:`repro.parallel.profile` by construction.
+        """
+        points = [self.profile_point(load) for load in self.loads]
+        return ProfilingResult.from_points(self.spec.name, points)
 
-        records = self._service.build_request_records(load, self.requests_per_load)
-        if self.mode == "jaeger":
-            tracer = JaegerTracer()
-            tracer.record(records)
-            return tracer.per_request()
-
-        endpoints = default_endpoints(self.spec.servpod_names)
-        emitter = TraceEmitter(
-            endpoints,
-            EmitterConfig(
-                blocking=True,
-                persistent_connections=False,
-                noise_per_request=self.noise_per_request,
-                seed=self.streams.stream("profiler:emitter-seed").integers(0, 2**31),
-            ),
+    def profile_point(self, load: float) -> LoadPointProfile:
+        """Profile one load point with this profiler's parameters."""
+        return profile_load_point(
+            self.spec,
+            load,
+            root_seed=self.streams.seed,
+            requests_per_load=self.requests_per_load,
+            tail_samples=self.tail_samples,
+            mode=self.mode,
+            noise_per_request=self.noise_per_request,
         )
-        events = emitter.emit(records)
-        extractor = SojournExtractor(CausalityMatcher(endpoints))
-        return extractor.per_request(events)
 
     # -- derived analyses ------------------------------------------------
 

@@ -88,6 +88,47 @@ def find_slacklimits(
     return dict(current)
 
 
+def find_slacklimit_for_pod(
+    pod: str,
+    contributions: Mapping[str, float],
+    sla_probe: SlaProbe,
+    max_rounds: int = 50,
+) -> float:
+    """One Servpod's Algorithm-1 walk, every other Servpod conservative.
+
+    This is the independent unit of work the parallel profiling pipeline
+    fans out: the walk touches no state outside its own candidate
+    sequence, and the probe's randomness is derived from the candidate
+    configuration itself (see
+    :func:`repro.experiments.colocation.make_sla_probe`), so running the
+    walks serially or across processes yields bit-identical limits.
+    """
+    if pod not in contributions:
+        raise ProfilingError(f"unknown Servpod {pod!r}")
+    total = sum(contributions.values())
+    if total <= 0:
+        raise ProfilingError("total contribution must be positive")
+    step = 1.0 - contributions[pod] / total
+    if step <= 1e-6:
+        return 1.0
+    current = 1.0
+    record: List[float] = []
+    for _ in range(max_rounds):
+        candidate = current - step  # line 5
+        if candidate <= 0:
+            break
+        candidate = max(candidate, MIN_SLACKLIMIT)
+        if candidate == current:
+            break
+        config = {other: 1.0 for other in contributions}
+        config[pod] = candidate
+        if sla_probe(config):  # lines 6-7
+            break
+        record.append(candidate)  # line 12
+        current = candidate
+    return record[-1] if record else 1.0  # lines 8-10
+
+
 def find_slacklimits_independent(
     contributions: Mapping[str, float],
     sla_probe: SlaProbe,
@@ -101,37 +142,33 @@ def find_slacklimits_independent(
     ``1 − C_i/ΣC``, every other Servpod keeps the conservative initial
     limit. This matches the paper's published outcomes (each Servpod's
     limit is a multiple of its own step) and is robust: one Servpod's
-    violation never resets the others' limits.
+    violation never resets the others' limits. Delegates to
+    :func:`find_slacklimit_for_pod` per Servpod — the parallel pipeline
+    runs the very same walks, one task each.
     """
     if not contributions:
         raise ProfilingError("no contributions provided")
     total = sum(contributions.values())
     if total <= 0:
         raise ProfilingError("total contribution must be positive")
+    return {
+        pod: find_slacklimit_for_pod(pod, contributions, sla_probe, max_rounds)
+        for pod in contributions
+    }
 
-    limits: Dict[str, float] = {}
-    for pod, c in contributions.items():
-        step = 1.0 - c / total
-        if step <= 1e-6:
-            limits[pod] = 1.0
-            continue
-        current = 1.0
-        record: List[float] = []
-        for _ in range(max_rounds):
-            candidate = current - step  # line 5
-            if candidate <= 0:
-                break
-            candidate = max(candidate, MIN_SLACKLIMIT)
-            if candidate == current:
-                break
-            config = {other: 1.0 for other in contributions}
-            config[pod] = candidate
-            if sla_probe(config):  # lines 6-7
-                break
-            record.append(candidate)  # line 12
-            current = candidate
-        limits[pod] = record[-1] if record else 1.0  # lines 8-10
-    return limits
+
+def candidate_signature(slacklimits: Mapping[str, float]) -> str:
+    """A canonical text signature of one candidate configuration.
+
+    Used to derive the SLA probe's random streams from the candidate
+    *itself* rather than from a call counter, so a probe evaluates any
+    given configuration with the same randomness no matter which
+    Servpod's walk (or which process) asked. ``float.hex`` keeps the
+    encoding exact and platform-independent.
+    """
+    return ",".join(
+        f"{pod}={float(slacklimits[pod]).hex()}" for pod in sorted(slacklimits)
+    )
 
 
 def expected_first_step(contributions: Mapping[str, float]) -> Dict[str, float]:

@@ -354,6 +354,7 @@ def make_sla_probe(
     pattern: LoadPattern,
     streams: RandomStreams,
     config: Optional[ColocationConfig] = None,
+    repeats: int = 2,
 ):
     """Build Algorithm 1's ``run_system`` probe.
 
@@ -362,13 +363,23 @@ def make_sla_probe(
     whether any control window violated the SLA. Per the paper's
     recommendation ("run the algorithm with representative,
     mixed-intensive BEs and run multiple times to increase its
-    accuracy"), each candidate is tried once against the whole BE mix
-    and once against each individual BE job — a single violating trial
-    rejects the candidate, so the derived limits are safe for every BE
-    the operator expects to co-locate.
+    accuracy"), each candidate is tried ``repeats`` times against the
+    whole BE mix and against each individual BE job, so the derived
+    limits are safe for every BE the operator expects to co-locate and a
+    borderline candidate (one that only violates under some traffic
+    realisations) is reliably rejected rather than slipping through on a
+    lucky draw. Trials stop early once the candidate is rejected.
+
+    Each trial's random streams are derived from the *candidate
+    configuration* (via
+    :func:`repro.core.slacklimit.candidate_signature`) and the trial's
+    mix index — never from a call counter — so probing a given candidate
+    consumes the same randomness whether the per-Servpod walks run
+    serially in one process or fan out across the profiling pool.
     """
+    from repro.core.slacklimit import candidate_signature
+
     base_config = config or ColocationConfig(duration_s=400.0)
-    counter = [0]
     # One trial with the whole mix, plus one per *memory-system* stressor
     # — the stressors that actually reject candidates. CPU-/network-bound
     # BEs never produce tail violations under core/qdisc isolation.
@@ -380,35 +391,39 @@ def make_sla_probe(
     trial_mixes = [list(be_specs)] + [[be] for be in (harsh or be_specs)]
 
     def probe(slacklimits: Mapping[str, float]) -> bool:
+        signature = candidate_signature(slacklimits)
         violating_windows = 0
-        for mix in trial_mixes:
-            counter[0] += 1
-            controllers = {}
-            for pod in service.servpod_names:
-                from repro.core.top_controller import ControllerThresholds
+        for mix_index, mix in enumerate(trial_mixes):
+            for repeat in range(max(1, repeats)):
+                controllers = {}
+                for pod in service.servpod_names:
+                    from repro.core.top_controller import ControllerThresholds
 
-                controllers[pod] = TopController(
-                    servpod=pod,
-                    thresholds=ControllerThresholds(
-                        loadlimit=loadlimits[pod],
-                        slacklimit=max(0.01, min(1.0, slacklimits[pod])),
+                    controllers[pod] = TopController(
+                        servpod=pod,
+                        thresholds=ControllerThresholds(
+                            loadlimit=loadlimits[pod],
+                            slacklimit=max(0.01, min(1.0, slacklimits[pod])),
+                        ),
+                        sla_ms=service.sla_ms,
+                    )
+                experiment = ColocationExperiment(
+                    service,
+                    controllers,
+                    mix,
+                    pattern,
+                    streams=streams.spawn(
+                        f"slacklimit-probe:{mix_index}:{repeat}:{signature}"
                     ),
-                    sla_ms=service.sla_ms,
+                    config=replace(base_config),
                 )
-            experiment = ColocationExperiment(
-                service,
-                controllers,
-                mix,
-                pattern,
-                streams=streams.spawn(f"slacklimit-probe-{counter[0]}"),
-                config=replace(base_config),
-            )
-            violating_windows += experiment.run().sla_violations
-            # One violating window across the whole candidate's trials is
-            # within measurement noise ("run multiple times to increase
-            # its accuracy"); a repeat offender is rejected.
-            if violating_windows >= 2:
-                return True
+                violating_windows += experiment.run().sla_violations
+                # One violating window across the whole candidate's
+                # trials is within measurement noise ("run multiple times
+                # to increase its accuracy"); a repeat offender is
+                # rejected.
+                if violating_windows >= 2:
+                    return True
         return False
 
     return probe

@@ -72,14 +72,16 @@ def run_service_grid(
     workers: Optional[int] = None,
     cache=None,
     cache_stats=None,
+    profile_workers: Optional[int] = None,
 ) -> List[ServiceCell]:
     """Run the Figures 12-14 grid; one row per (service, BE, load).
 
     Cells run on the parallel grid engine (``workers`` as in
-    :func:`repro.parallel.grid.resolve_workers`); results are identical
-    for any worker count. ``cache``/``cache_stats`` pass through to
-    :func:`repro.parallel.grid.run_comparison_grid` for incremental
-    re-execution.
+    :func:`repro.parallel.pool.resolve_workers`; ``profile_workers``
+    sets the profiling fan-out, sharing the same pool); results are
+    identical for any worker count. ``cache``/``cache_stats`` pass
+    through to :func:`repro.parallel.grid.run_comparison_grid` for
+    incremental re-execution.
     """
     service_names = list(services) if services is not None else list(LC_CATALOG)
     be_specs = list(be_specs) if be_specs is not None else evaluation_be_jobs()
@@ -92,7 +94,8 @@ def run_service_grid(
             for load in loads:
                 cells.append(GridCell(spec, be, load, seed=seed))
     comparisons = run_comparison_grid(
-        cells, config=config, workers=workers, cache=cache, cache_stats=cache_stats
+        cells, config=config, workers=workers, cache=cache,
+        cache_stats=cache_stats, profile_workers=profile_workers,
     )
     return [
         ServiceCell(

@@ -50,13 +50,15 @@ def run_figure15(
     workers: Optional[int] = None,
     cache=None,
     cache_stats=None,
+    profile_workers: Optional[int] = None,
 ) -> List[ProductionCell]:
     """Run the production-load grid; one row per (service, BE) cell.
 
     The production pattern compresses five synthetic ClarkNet days into
     ``duration_s`` (the paper compresses five real days into six hours).
     Cells run on the parallel grid engine (``workers`` as in
-    :func:`repro.parallel.grid.resolve_workers`); ``cache``/
+    :func:`repro.parallel.pool.resolve_workers`; ``profile_workers``
+    sets the profiling fan-out, sharing the same pool); ``cache``/
     ``cache_stats`` pass through for incremental re-execution.
     """
     service_names = list(services) if services is not None else list(LC_CATALOG)
@@ -72,7 +74,8 @@ def run_figure15(
         for be in be_specs:
             cells.append(GridCell(spec, be, load=0.5, seed=seed, pattern=pattern))
     comparisons = run_comparison_grid(
-        cells, config=config, workers=workers, cache=cache, cache_stats=cache_stats
+        cells, config=config, workers=workers, cache=cache,
+        cache_stats=cache_stats, profile_workers=profile_workers,
     )
     return [
         ProductionCell(

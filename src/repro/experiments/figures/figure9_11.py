@@ -62,15 +62,18 @@ def run_servpod_grid(
     workers: Optional[int] = None,
     cache=None,
     cache_stats=None,
+    profile_workers: Optional[int] = None,
 ) -> List[ServpodCell]:
     """Run the full Figures 9-11 grid; returns one row per cell/system.
 
     Cells fan out to the parallel grid engine; ``workers`` resolves via
-    :func:`repro.parallel.grid.resolve_workers` (``RHYTHM_WORKERS`` env
-    var, then CPU count). Results are identical for any worker count.
-    ``cache``/``cache_stats`` pass through to
-    :func:`repro.parallel.grid.run_comparison_grid` for incremental
-    re-execution.
+    :func:`repro.parallel.pool.resolve_workers` (``RHYTHM_WORKERS`` env
+    var, then CPU count) and ``profile_workers`` sets the profiling
+    fan-out width (``RHYTHM_PROFILE_WORKERS``, falling back to the grid
+    resolution) — both phases share one persistent pool. Results are
+    identical for any worker count. ``cache``/``cache_stats`` pass
+    through to :func:`repro.parallel.grid.run_comparison_grid` for
+    incremental re-execution.
     """
     be_specs = list(be_specs) if be_specs is not None else evaluation_be_jobs()
     builder = service_builder or (lambda name: LC_CATALOG[name]())
@@ -85,7 +88,8 @@ def run_servpod_grid(
                 cells.append(GridCell(spec, be, load, seed=seed))
                 coords.append((service_name, pod))
     comparisons = run_comparison_grid(
-        cells, config=config, workers=workers, cache=cache, cache_stats=cache_stats
+        cells, config=config, workers=workers, cache=cache,
+        cache_stats=cache_stats, profile_workers=profile_workers,
     )
     rows: List[ServpodCell] = []
     for (service_name, pod), cell, cmp in zip(coords, cells, comparisons):

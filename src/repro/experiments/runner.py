@@ -31,6 +31,41 @@ from repro.workloads.spec import ServiceSpec
 _RHYTHM_CACHE: Dict[Tuple[str, int, str, bool], Rhythm] = {}
 
 
+def sla_probe_for(
+    service: ServiceSpec,
+    loadlimits: Mapping[str, float],
+    seed: int = 0,
+    probe_duration_s: float = 600.0,
+):
+    """Algorithm 1's SLA probe, exactly as ``get_rhythm`` builds it.
+
+    Factored out so the parallel profiling pipeline
+    (:mod:`repro.parallel.profile`) can rebuild an identical probe
+    inside a worker process: same evaluation BE mix, same
+    production-load pattern (peaking at 85% of MaxLoad — co-location is
+    suspended above the loadlimits anyway, so probing beyond only
+    measures solo-run peak tails, which graze the SLA by design and
+    would mask BE-induced risk), same probe stream registry.
+    """
+    from repro.bejobs.catalog import evaluation_be_jobs
+    from repro.experiments.colocation import ColocationConfig, make_sla_probe
+    from repro.loadgen.clarknet import clarknet_production_load
+
+    return make_sla_probe(
+        service,
+        dict(loadlimits),
+        evaluation_be_jobs(),
+        clarknet_production_load(
+            duration_s=probe_duration_s,
+            peak_fraction=0.85,
+            seed=seed + 17,
+            days=1,
+        ),
+        RandomStreams(seed + 1),
+        config=ColocationConfig(duration_s=probe_duration_s),
+    )
+
+
 def get_rhythm(
     service: ServiceSpec,
     seed: int = 0,
@@ -49,32 +84,18 @@ def get_rhythm(
     key = (service.name, seed, profiling_mode, probe_slacklimits)
     rhythm = _RHYTHM_CACHE.get(key)
     if rhythm is None:
-        from repro.bejobs.catalog import evaluation_be_jobs
-        from repro.experiments.colocation import ColocationConfig, make_sla_probe
-        from repro.loadgen.clarknet import clarknet_production_load
-
         cfg = config or RhythmConfig(profiling_mode=profiling_mode)
         rhythm = Rhythm(service, RandomStreams(seed), cfg)
         rhythm.profile()
         if probe_slacklimits:
-            probe = make_sla_probe(
-                service,
-                rhythm.loadlimits(),
-                evaluation_be_jobs(),
-                # Peak at 85% of MaxLoad: co-location is suspended above
-                # the loadlimits anyway, so probing beyond only measures
-                # solo-run peak tails (which graze the SLA by design and
-                # would mask BE-induced risk).
-                clarknet_production_load(
-                    duration_s=probe_duration_s,
-                    peak_fraction=0.85,
-                    seed=seed + 17,
-                    days=1,
-                ),
-                RandomStreams(seed + 1),
-                config=ColocationConfig(duration_s=probe_duration_s),
+            rhythm.slacklimits(
+                sla_probe_for(
+                    service,
+                    rhythm.loadlimits(),
+                    seed=seed,
+                    probe_duration_s=probe_duration_s,
+                )
             )
-            rhythm.slacklimits(probe)
         _RHYTHM_CACHE[key] = rhythm
     return rhythm
 

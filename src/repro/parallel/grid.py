@@ -37,45 +37,48 @@ reported through :class:`GridCacheStats`.
 from __future__ import annotations
 
 import hashlib
-import multiprocessing
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.baselines.heracles import HeraclesPolicy, heracles_controllers
 from repro.bejobs.spec import BeJobSpec
 from repro.cache.keys import stable_hash
-from repro.cache.store import CacheStore, default_store
+from repro.cache.store import CacheStore
 from repro.errors import CacheKeyError, ExperimentError
 from repro.experiments.colocation import ColocationConfig, ColocationResult
 from repro.experiments.runner import ComparisonResult, run_cell
 from repro.loadgen.patterns import ConstantLoad, LoadPattern
-from repro.parallel.artifact import RhythmArtifact, artifact_for
+from repro.parallel.artifact import RhythmArtifact
+from repro.parallel.pool import (
+    WORKERS_ENV_VAR,
+    BroadcastRef,
+    Envelope,
+    broadcast,
+    resolve_ref,
+    resolve_workers,
+    run_envelopes,
+)
+from repro.parallel.profile import (
+    ProfileStats,
+    artifact_cache_key,
+    profile_services_parallel,
+    resolve_store as _resolve_store,
+)
 from repro.workloads.spec import ServiceSpec
 
-#: Environment variable overriding the default worker count.
-WORKERS_ENV_VAR = "RHYTHM_WORKERS"
-
-
-def resolve_workers(workers: Optional[int] = None) -> int:
-    """The effective worker count.
-
-    Explicit ``workers`` wins; otherwise the ``RHYTHM_WORKERS``
-    environment variable; otherwise ``os.cpu_count()``. Always >= 1.
-    """
-    if workers is None:
-        env = os.environ.get(WORKERS_ENV_VAR, "").strip()
-        if env:
-            try:
-                workers = int(env)
-            except ValueError:
-                raise ExperimentError(
-                    f"{WORKERS_ENV_VAR} must be an integer, got {env!r}"
-                ) from None
-        else:
-            workers = os.cpu_count() or 1
-    return max(1, int(workers))
+__all__ = [
+    "WORKERS_ENV_VAR",
+    "GridCacheStats",
+    "GridCell",
+    "artifact_cache_key",
+    "cell_cache_key",
+    "colocation_fingerprint",
+    "comparison_fingerprint",
+    "derive_cell_seed",
+    "profile_services",
+    "resolve_workers",
+    "run_comparison_grid",
+]
 
 
 def derive_cell_seed(
@@ -151,12 +154,26 @@ def _execute_task(task: _CellTask) -> ComparisonResult:
     )
 
 
-def _pool_context():
-    """Prefer fork (cheap, inherits sys.path) when the platform has it."""
-    methods = multiprocessing.get_all_start_methods()
-    if "fork" in methods:
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
+def _execute_cell(
+    cell: GridCell,
+    artifact_ref: BroadcastRef,
+    heracles_policy: HeraclesPolicy,
+    config: Optional[ColocationConfig],
+) -> ComparisonResult:
+    """Worker-side cell execution against a broadcast artifact.
+
+    The artifact travels as a digest-addressed ref (pickled once per
+    broadcast, not once per cell); everything else in the envelope is
+    cell-specific anyway.
+    """
+    return _execute_task(
+        _CellTask(
+            cell=cell,
+            artifact=resolve_ref(artifact_ref),
+            heracles_policy=heracles_policy,
+            config=config,
+        )
+    )
 
 
 # -- content-addressed caching -------------------------------------------
@@ -185,34 +202,6 @@ class GridCacheStats:
         self.hits += other.hits
         self.misses += other.misses
         self.skipped += other.skipped
-
-
-def _resolve_store(
-    cache: Union[None, bool, CacheStore]
-) -> Optional[CacheStore]:
-    """Normalize the ``cache`` argument to a store (or no caching).
-
-    ``None``/``False`` disable caching; ``True`` uses the
-    environment-default store (which ``RHYTHM_CACHE=off`` may veto);
-    a :class:`CacheStore` is used as given.
-    """
-    if isinstance(cache, CacheStore):
-        return cache
-    if cache:
-        return default_store()
-    return None
-
-
-def artifact_cache_key(
-    service: ServiceSpec,
-    seed: int,
-    profiling_mode: str,
-    probe_slacklimits: bool,
-) -> str:
-    """The content address of one service's profiling artifact."""
-    return stable_hash(
-        ("rhythm-artifact", service, seed, profiling_mode, probe_slacklimits)
-    )
 
 
 def cell_cache_key(task: _CellTask) -> str:
@@ -249,48 +238,29 @@ def profile_services(
     profiling_mode: str = "direct",
     probe_slacklimits: bool = True,
     cache: Union[None, bool, CacheStore] = None,
+    workers: Optional[int] = None,
+    stats: Optional[ProfileStats] = None,
 ) -> Dict[str, RhythmArtifact]:
-    """Profile every distinct service of ``cells`` once, in the parent.
+    """Profile every distinct service of ``cells``, fanned out.
 
     ``seed_by_service`` overrides the profiling seed per service; by
     default each service profiles at the seed of its first cell, which is
-    what the serial ``compare_systems`` path does. With a ``cache``,
-    artifacts are memoized on disk, so a warm process skips the expensive
-    SLA probe entirely.
+    what the serial ``compare_systems`` path does. The sweep and
+    Algorithm-1 walks run through the shared worker pool (``workers``
+    resolves via :func:`~repro.parallel.pool.resolve_profile_workers`);
+    with a ``cache``, artifacts and their sub-profiles are memoized on
+    disk, so a warm process skips every sweep simulation (pass a
+    :class:`~repro.parallel.profile.ProfileStats` to see the counts).
     """
-    store = _resolve_store(cache)
-    artifacts: Dict[str, RhythmArtifact] = {}
-    for cell in cells:
-        name = cell.service.name
-        if name in artifacts:
-            continue
-        seed = (
-            seed_by_service[name]
-            if seed_by_service is not None and name in seed_by_service
-            else cell.seed
-        )
-        key: Optional[str] = None
-        if store is not None:
-            try:
-                key = artifact_cache_key(
-                    cell.service, seed, profiling_mode, probe_slacklimits
-                )
-            except CacheKeyError:
-                key = None
-            if key is not None:
-                hit = store.get(key)
-                if isinstance(hit, RhythmArtifact) and hit.service_name == name:
-                    artifacts[name] = hit
-                    continue
-        artifacts[name] = artifact_for(
-            cell.service,
-            seed=seed,
-            profiling_mode=profiling_mode,
-            probe_slacklimits=probe_slacklimits,
-        )
-        if store is not None and key is not None:
-            store.put(key, artifacts[name])
-    return artifacts
+    return profile_services_parallel(
+        cells,
+        seed_by_service=seed_by_service,
+        profiling_mode=profiling_mode,
+        probe_slacklimits=probe_slacklimits,
+        cache=cache,
+        workers=workers,
+        stats=stats,
+    )
 
 
 def run_comparison_grid(
@@ -303,13 +273,21 @@ def run_comparison_grid(
     artifacts: Optional[Mapping[str, RhythmArtifact]] = None,
     cache: Union[None, bool, CacheStore] = None,
     cache_stats: Optional[GridCacheStats] = None,
+    profile_workers: Optional[int] = None,
+    profile_stats: Optional[ProfileStats] = None,
 ) -> List[ComparisonResult]:
     """Run every cell under Rhythm and Heracles; results in input order.
 
-    Profiling happens once per distinct service in the parent (unless
-    pre-built ``artifacts`` are supplied); only frozen artifacts travel
-    to the pool. With ``workers=1`` (or one cell) everything runs inline
-    in this process — the pool path produces bit-identical results.
+    Profiling happens once per distinct service (unless pre-built
+    ``artifacts`` are supplied) with its sweep and Algorithm-1 walks
+    fanned out through the shared worker pool; the cell phase then
+    reuses that same pool — a cold figure run pays pool startup exactly
+    once. Artifacts cross the pool boundary as broadcast refs, pickled
+    once per grid instead of once per cell. With ``workers=1`` (or one
+    cell) everything runs inline in this process — the pool path
+    produces bit-identical results. ``profile_workers`` overrides the
+    profiling fan-out width (default: ``RHYTHM_PROFILE_WORKERS``, then
+    the grid's own worker resolution).
 
     With a ``cache`` (``True`` for the environment default, or an
     explicit :class:`~repro.cache.store.CacheStore`), each cell's result
@@ -317,7 +295,9 @@ def run_comparison_grid(
     are returned as-is (bit-identical to a cold run — the stored object
     *is* the cold result), misses are computed and stored. Pass a
     :class:`GridCacheStats` as ``cache_stats`` to receive the
-    hit/miss/skip counts of this invocation.
+    hit/miss/skip counts of this invocation (and a
+    :class:`~repro.parallel.profile.ProfileStats` as ``profile_stats``
+    for the profiling-phase counts).
     """
     cells = list(cells)
     if not cells:
@@ -330,6 +310,8 @@ def run_comparison_grid(
             profiling_mode=profiling_mode,
             probe_slacklimits=probe_slacklimits,
             cache=store,
+            workers=profile_workers,
+            stats=profile_stats,
         )
     missing = {c.service.name for c in cells} - set(artifacts)
     if missing:
@@ -374,13 +356,26 @@ def run_comparison_grid(
         if n_workers <= 1:
             computed = [_execute_task(task) for task in pending_tasks]
         else:
-            chunksize = max(1, len(pending_tasks) // (n_workers * 4))
-            with ProcessPoolExecutor(
-                max_workers=n_workers, mp_context=_pool_context()
-            ) as pool:
-                computed = list(
-                    pool.map(_execute_task, pending_tasks, chunksize=chunksize)
-                )
+            artifact_refs = {
+                name: broadcast(artifact)
+                for name, artifact in artifacts.items()
+            }
+            computed = run_envelopes(
+                [
+                    Envelope(
+                        fn=_execute_cell,
+                        args=(
+                            task.cell,
+                            artifact_refs[task.cell.service.name],
+                            task.heracles_policy,
+                            task.config,
+                        ),
+                        refs=(artifact_refs[task.cell.service.name],),
+                    )
+                    for task in pending_tasks
+                ],
+                n_workers,
+            )
         for i, result in zip(pending, computed):
             results[i] = result
             if store is not None and keys[i] is not None:

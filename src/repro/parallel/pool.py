@@ -1,0 +1,433 @@
+"""The persistent worker pool with artifact broadcast.
+
+PR 1's grid engine created a fresh ``ProcessPoolExecutor`` per
+``run_comparison_grid`` call and re-pickled every artifact into every
+cell submission. Now that profiling itself fans out (see
+:mod:`repro.parallel.profile`), a cold figure run would pay pool startup
+twice and ship the same frozen :class:`~repro.parallel.artifact.RhythmArtifact`
+dozens of times. This module fixes both:
+
+**One pool per process.** :func:`get_pool` lazily creates a module-level
+``ProcessPoolExecutor`` and every later caller — the profiling pipeline,
+the grid engine, repeated CLI phases — reuses it. The pool is only
+recreated when the caller needs *more* workers than it has or the
+multiprocessing context changed; :func:`pool_constructions` counts
+creations so tests can assert a cold grid run builds exactly one pool.
+
+**Broadcast, not re-pickle.** :func:`broadcast` registers a frozen
+object (an artifact, a service spec, a run config) in a parent-side
+registry and hands back a tiny digest-addressed :class:`BroadcastRef`.
+Task envelopes carry refs; workers resolve them against a local object
+store populated three ways, cheapest first:
+
+1. *fork inheritance* — objects broadcast before the pool existed are in
+   the forked child's memory for free,
+2. *seeding* — objects broadcast later are pushed once per worker by a
+   barrier-synchronised absorb round (fork) or attached to the first
+   envelope batch that needs them (spawn),
+3. *miss-resubmit* — a worker that still lacks a digest (e.g. it was
+   respawned) reports a miss and the parent resubmits that envelope with
+   the payload attached; the worker caches it for every later task.
+
+Worker counts resolve through :func:`resolve_workers` /
+:func:`resolve_profile_workers`: explicit argument, then the
+``RHYTHM_PROFILE_WORKERS`` / ``RHYTHM_WORKERS`` environment variables,
+then ``os.cpu_count()``. Values below 1 clamp to 1 (a safe inline run);
+non-integer values raise :class:`~repro.errors.ExperimentError` up
+front instead of crashing inside ``ProcessPoolExecutor``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV_VAR = "RHYTHM_WORKERS"
+#: Profiling-specific override; falls back to :data:`WORKERS_ENV_VAR`.
+PROFILE_WORKERS_ENV_VAR = "RHYTHM_PROFILE_WORKERS"
+#: Force a multiprocessing start method ("fork", "spawn", "forkserver").
+MP_CONTEXT_ENV_VAR = "RHYTHM_MP_CONTEXT"
+
+
+# -- worker-count resolution ---------------------------------------------
+
+
+def _coerce_workers(value: Any, source: str) -> int:
+    """Validate one worker-count value; clamp sub-1 values to 1.
+
+    ``source`` names where the value came from so the error message
+    tells the user exactly what to fix.
+    """
+    if isinstance(value, bool):
+        raise ExperimentError(
+            f"{source} must be an integer worker count, got the boolean {value!r}"
+        )
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise ExperimentError(
+                f"{source} must be a whole number of workers, got {value!r}"
+            )
+        value = int(value)
+    if isinstance(value, str):
+        try:
+            value = int(value.strip())
+        except ValueError:
+            raise ExperimentError(
+                f"{source} must be an integer worker count "
+                f"(e.g. 4), got {value!r}"
+            ) from None
+    if not isinstance(value, int):
+        raise ExperimentError(
+            f"{source} must be an integer worker count, got "
+            f"{type(value).__name__} {value!r}"
+        )
+    # Zero or negative means "no parallelism": run inline rather than
+    # handing ProcessPoolExecutor an invalid max_workers.
+    return max(1, value)
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective grid worker count.
+
+    Explicit ``workers`` wins; otherwise the ``RHYTHM_WORKERS``
+    environment variable; otherwise ``os.cpu_count()``. Always >= 1.
+    """
+    if workers is not None:
+        return _coerce_workers(workers, "workers")
+    env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+    if env:
+        return _coerce_workers(env, WORKERS_ENV_VAR)
+    return os.cpu_count() or 1
+
+
+def resolve_profile_workers(workers: Optional[int] = None) -> int:
+    """The effective profiling worker count.
+
+    Explicit ``workers`` wins; then ``RHYTHM_PROFILE_WORKERS``; then
+    ``RHYTHM_WORKERS`` (profiling shares the grid pool by design); then
+    ``os.cpu_count()``. Always >= 1.
+    """
+    if workers is not None:
+        return _coerce_workers(workers, "workers")
+    env = os.environ.get(PROFILE_WORKERS_ENV_VAR, "").strip()
+    if env:
+        return _coerce_workers(env, PROFILE_WORKERS_ENV_VAR)
+    return resolve_workers(None)
+
+
+# -- broadcast registry ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BroadcastRef:
+    """A digest-addressed handle to a broadcast object (cheap to ship)."""
+
+    digest: str
+
+
+class BroadcastMissError(ExperimentError):
+    """A worker lacked broadcast payloads (resolved by resubmission)."""
+
+    def __init__(self, digests: Sequence[str]) -> None:
+        super().__init__(f"missing broadcast payloads {sorted(digests)}")
+        self.digests = tuple(digests)
+
+
+#: Parent-side registry: digest -> live object / pickled blob.
+_PARENT_OBJECTS: Dict[str, Any] = {}
+_PARENT_BLOBS: Dict[str, bytes] = {}
+#: Worker-side object store (also used by fork children via inheritance
+#: of _PARENT_OBJECTS; this dict holds explicitly seeded payloads).
+_WORKER_OBJECTS: Dict[str, Any] = {}
+
+
+def broadcast(obj: Any) -> BroadcastRef:
+    """Register ``obj`` for worker-side resolution; returns its ref.
+
+    The object is pickled exactly once here, no matter how many task
+    envelopes reference it afterwards.
+    """
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(blob).hexdigest()
+    if digest not in _PARENT_OBJECTS:
+        _PARENT_OBJECTS[digest] = obj
+        _PARENT_BLOBS[digest] = blob
+    return BroadcastRef(digest)
+
+
+def resolve_ref(ref: BroadcastRef) -> Any:
+    """Look a ref up in the local object store (worker or parent).
+
+    Resolution order: explicitly seeded worker store, then the (possibly
+    fork-inherited) parent registry. Raises :class:`BroadcastMissError`
+    when neither has it — the pool turns that into a resubmission with
+    the payload attached.
+    """
+    obj = _WORKER_OBJECTS.get(ref.digest)
+    if obj is not None:
+        return obj
+    obj = _PARENT_OBJECTS.get(ref.digest)
+    if obj is not None:
+        return obj
+    raise BroadcastMissError([ref.digest])
+
+
+def _absorb_blobs(blobs: Dict[str, bytes]) -> None:
+    """Unpickle payloads into the worker-side store (idempotent)."""
+    for digest, blob in blobs.items():
+        if digest not in _WORKER_OBJECTS:
+            _WORKER_OBJECTS[digest] = pickle.loads(blob)
+
+
+def _worker_init(blobs: Dict[str, bytes]) -> None:
+    """Pool initializer: seed the store with the creation-time snapshot."""
+    _absorb_blobs(blobs)
+
+
+def _absorb_task(blobs: Dict[str, bytes]) -> int:
+    """Seeding task: absorb payloads, then rendezvous so every worker
+    takes exactly one absorb task instead of a fast worker draining the
+    whole round.
+
+    The barrier reaches fork workers through module-state inheritance
+    (`_STATE.barrier` was created before the worker forked); it cannot
+    travel as a task argument because multiprocessing synchronisation
+    primitives refuse to pickle.
+    """
+    _absorb_blobs(blobs)
+    barrier = _STATE.barrier
+    if barrier is not None:
+        try:
+            barrier.wait(timeout=30.0)
+        except Exception:  # broken barrier: distribution was uneven;
+            pass  # the miss-resubmit safety net covers any gap.
+    return len(blobs)
+
+
+# -- the persistent pool --------------------------------------------------
+
+
+@dataclass
+class _PoolState:
+    executor: Optional[ProcessPoolExecutor] = None
+    workers: int = 0
+    method: str = ""
+    #: Digests every live worker is known to hold.
+    seeded: set = field(default_factory=set)
+    #: Reusable rendezvous barrier (fork contexts only).
+    barrier: Any = None
+    constructions: int = 0
+
+
+_STATE = _PoolState()
+
+
+def _context_method() -> str:
+    """The start method to use: env override, else fork when available."""
+    forced = os.environ.get(MP_CONTEXT_ENV_VAR, "").strip()
+    if forced:
+        if forced not in multiprocessing.get_all_start_methods():
+            raise ExperimentError(
+                f"{MP_CONTEXT_ENV_VAR}={forced!r} is not a supported start "
+                f"method; pick from {multiprocessing.get_all_start_methods()}"
+            )
+        return forced
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else multiprocessing.get_start_method()
+
+
+def pool_constructions() -> int:
+    """How many ProcessPoolExecutors this process has created."""
+    return _STATE.constructions
+
+
+def shutdown_pool() -> None:
+    """Tear the persistent pool down (tests; atexit)."""
+    if _STATE.executor is not None:
+        _STATE.executor.shutdown(wait=True, cancel_futures=True)
+    _STATE.executor = None
+    _STATE.workers = 0
+    _STATE.method = ""
+    _STATE.seeded = set()
+    _STATE.barrier = None
+
+
+def reset_pool_state_for_tests() -> None:
+    """Shut the pool down and zero the construction counter."""
+    shutdown_pool()
+    _STATE.constructions = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def get_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared pool, created once per process.
+
+    An existing pool is reused whenever it is at least ``workers`` wide
+    and was built with the current start method; it only grows, so a
+    profiling phase followed by a wider grid phase still pays startup
+    once (the profiling call already asks for the full width via
+    :func:`resolve_profile_workers`).
+    """
+    workers = max(2, int(workers))
+    method = _context_method()
+    if (
+        _STATE.executor is not None
+        and _STATE.method == method
+        and _STATE.workers >= workers
+    ):
+        return _STATE.executor
+    shutdown_pool()
+    ctx = multiprocessing.get_context(method)
+    # The rendezvous barrier must exist before the workers so fork
+    # children inherit it; spawn contexts cannot inherit synchronisation
+    # primitives and fall back to envelope-attached payloads.
+    barrier = ctx.Barrier(workers) if method == "fork" else None
+    snapshot = dict(_PARENT_BLOBS)
+    executor = ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=ctx,
+        initializer=_worker_init,
+        initargs=(snapshot,),
+    )
+    _STATE.executor = executor
+    _STATE.workers = workers
+    _STATE.method = method
+    _STATE.seeded = set(snapshot)
+    _STATE.barrier = barrier
+    _STATE.constructions += 1
+    return executor
+
+
+# -- envelopes ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One shipped unit of work: a task function plus its payload.
+
+    ``fn`` must be a module-level callable (picklable by reference).
+    ``refs`` declares every :class:`BroadcastRef` the task resolves, so
+    the pool can seed workers before the batch runs. ``blobs`` carries
+    inline payloads on the resubmission path only.
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...]
+    refs: Tuple[BroadcastRef, ...] = ()
+    blobs: Optional[Tuple[Tuple[str, bytes], ...]] = None
+
+
+def _run_envelope(env: Envelope) -> Tuple[str, Any]:
+    """Worker-side envelope execution: absorb, resolve, run."""
+    if env.blobs:
+        _absorb_blobs(dict(env.blobs))
+    try:
+        return ("ok", env.fn(*env.args))
+    except BroadcastMissError as miss:
+        return ("miss", miss.digests)
+
+
+def _seed_workers(pool: ProcessPoolExecutor, digests: Iterable[str]) -> None:
+    """Push not-yet-seeded payloads to every worker (fork contexts).
+
+    Submits one barrier-synchronised absorb task per worker; the barrier
+    guarantees no worker takes two, so after the round every worker
+    holds the payloads. On spawn contexts (no inheritable barrier) this
+    is a no-op and payloads ride along with the envelopes instead.
+    """
+    missing = [d for d in digests if d not in _STATE.seeded]
+    if not missing:
+        return
+    if _STATE.barrier is None:
+        return
+    blobs = {d: _PARENT_BLOBS[d] for d in missing if d in _PARENT_BLOBS}
+    if not blobs:
+        return
+    futures = [
+        pool.submit(_absorb_task, blobs) for _ in range(_STATE.workers)
+    ]
+    for future in futures:
+        future.result()
+    _STATE.seeded.update(blobs)
+
+
+def _attach_blobs(env: Envelope, digests: Iterable[str]) -> Envelope:
+    """A copy of ``env`` carrying payloads for ``digests`` inline."""
+    blobs = tuple(
+        (d, _PARENT_BLOBS[d]) for d in sorted(set(digests)) if d in _PARENT_BLOBS
+    )
+    return Envelope(fn=env.fn, args=env.args, refs=env.refs, blobs=blobs)
+
+
+def run_envelopes(
+    envelopes: Sequence[Envelope],
+    workers: int,
+    chunksize: Optional[int] = None,
+) -> List[Any]:
+    """Run envelopes, results in input order.
+
+    ``workers <= 1`` (or a single envelope) runs inline in this process
+    — bit-identical to the pooled path since every task function is a
+    pure function of its (broadcast-resolved) arguments.
+    """
+    envelopes = list(envelopes)
+    if not envelopes:
+        return []
+    n_workers = min(int(workers), len(envelopes))
+    if n_workers <= 1:
+        return [env.fn(*env.args) for env in envelopes]
+    pool = get_pool(n_workers)
+    referenced = {ref.digest for env in envelopes for ref in env.refs}
+    _seed_workers(pool, referenced)
+    unseeded = referenced - _STATE.seeded
+    if unseeded:
+        # Spawn context (or a broken seeding round): payloads travel with
+        # the envelopes that need them.
+        envelopes = [
+            _attach_blobs(env, [r.digest for r in env.refs if r.digest in unseeded])
+            if any(r.digest in unseeded for r in env.refs)
+            else env
+            for env in envelopes
+        ]
+    if chunksize is None:
+        chunksize = max(1, len(envelopes) // (_STATE.workers * 4))
+    outcomes = list(pool.map(_run_envelope, envelopes, chunksize=chunksize))
+    if unseeded:
+        # The batch delivered the payloads; later batches can drop them.
+        _STATE.seeded.update(d for d in unseeded if d in _PARENT_BLOBS)
+    # Safety net: a worker without the payload (respawned, missed seeding)
+    # reports a miss; resubmit just those envelopes with payloads inline.
+    results: List[Any] = [None] * len(outcomes)
+    retry: List[int] = []
+    for i, (status, value) in enumerate(outcomes):
+        if status == "ok":
+            results[i] = value
+        else:
+            retry.append(i)
+    if retry:
+        retried = pool.map(
+            _run_envelope,
+            [
+                _attach_blobs(envelopes[i], [r.digest for r in envelopes[i].refs])
+                for i in retry
+            ],
+        )
+        for i, (status, value) in zip(retry, retried):
+            if status != "ok":
+                raise ExperimentError(
+                    f"worker could not resolve broadcast payloads {value!r} "
+                    f"even with inline blobs attached"
+                )
+            results[i] = value
+    return results

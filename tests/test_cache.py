@@ -49,17 +49,21 @@ from repro.parallel import (
     run_comparison_grid,
 )
 from repro.parallel.grid import _CellTask, cell_cache_key
+from repro.parallel.profile import clear_profile_memo
 from repro.workloads.latency import LatencyModel
 from conftest import make_tiny_service
 
 import repro.parallel.grid as grid_module
+import repro.parallel.profile as profile_module
 
 
 @pytest.fixture(scope="module", autouse=True)
 def _fresh_rhythm_cache():
     clear_rhythm_cache()
+    clear_profile_memo()
     yield
     clear_rhythm_cache()
+    clear_profile_memo()
 
 
 @pytest.fixture(scope="module")
@@ -481,13 +485,15 @@ class TestArtifactCaching:
         service = make_tiny_service("cached-svc")
         cells = [GridCell(service, evaluation_be_jobs()[0], 0.3, seed=0)]
         clear_rhythm_cache()
+        clear_profile_memo()
         first = profile_services(cells, probe_slacklimits=False, cache=store)
 
         def _boom(*args, **kwargs):
             raise AssertionError("warm profile must come from the store")
 
-        monkeypatch.setattr(grid_module, "artifact_for", _boom)
+        monkeypatch.setattr(profile_module, "run_envelopes", _boom)
         clear_rhythm_cache()
+        clear_profile_memo()
         second = profile_services(cells, probe_slacklimits=False, cache=store)
         assert second == first
 
@@ -495,16 +501,22 @@ class TestArtifactCaching:
         service = make_tiny_service("keyed-svc")
         cells = [GridCell(service, evaluation_be_jobs()[0], 0.3, seed=0)]
         clear_rhythm_cache()
+        clear_profile_memo()
         profile_services(cells, probe_slacklimits=False, cache=store)
         entries = store.stats().entries
+        # Sub-profile granularity: one artifact plus one entry per sweep
+        # load point.
+        assert entries > 1
         clear_rhythm_cache()
+        clear_profile_memo()
         profile_services(
             cells,
             probe_slacklimits=False,
             cache=store,
             seed_by_service={service.name: 1},
         )
-        assert store.stats().entries == entries + 1
+        # The seed feeds every key — artifact and all load points re-store.
+        assert store.stats().entries == 2 * entries
 
 
 class TestVectorizationIdentityGate:

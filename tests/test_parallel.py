@@ -37,14 +37,17 @@ from repro.parallel import (
     resolve_workers,
     run_comparison_grid,
 )
+from repro.parallel.profile import clear_profile_memo
 from conftest import make_tiny_service
 
 
 @pytest.fixture(scope="module", autouse=True)
 def _fresh_cache():
     clear_rhythm_cache()
+    clear_profile_memo()
     yield
     clear_rhythm_cache()
+    clear_profile_memo()
 
 
 @pytest.fixture(scope="module")

@@ -270,6 +270,24 @@ class TestPushMany:
         assert q.push_many([]) == []
         assert len(q) == 0
 
+    def test_failed_batch_leaves_queue_unchanged(self):
+        q = EventQueue()
+        q.push(1.0, lambda t: None)
+        with pytest.raises(SimulationError):
+            q.push_many([(2.0, lambda t: None, 0), (float("nan"), lambda t: None, 0)])
+        assert len(q) == 1
+        assert [e.time for e in iter(q.pop, None)] == [1.0]
+
+    def test_equal_time_fifo_across_scalar_and_batch(self):
+        # Sequence numbers keep equal-(time, priority) events FIFO even
+        # when scheduling alternates between the scalar and batch paths.
+        q = EventQueue()
+        first = q.push(1.0, lambda t: None)
+        batch = q.push_many([(1.0, lambda t: None, 0)] * 2)
+        last = q.push(1.0, lambda t: None)
+        expected = [first.seq, batch[0].seq, batch[1].seq, last.seq]
+        assert [e.seq for e in iter(q.pop, None)] == sorted(expected) == expected
+
 
 class TestEngineAtMany:
     def test_fires_in_time_order(self):
@@ -297,6 +315,40 @@ class TestEngineAtMany:
         engine = Engine(start=5.0)
         with pytest.raises(SimulationError):
             engine.at_many([(6.0, lambda t: None), (4.0, lambda t: None)])
+
+    def test_empty_batch_is_a_no_op(self):
+        engine = Engine()
+        assert engine.at_many([]) == []
+        assert engine.run() == 0
+
+    def test_default_priority_applies_to_pairs(self):
+        engine = Engine()
+        fired = []
+        engine.at_many([(1.0, lambda t: fired.append("ctl"))], priority=Engine.PRIORITY_CONTROL)
+        engine.at_many([(1.0, lambda t: fired.append("arr"))], priority=Engine.PRIORITY_ARRIVAL)
+        engine.run()
+        assert fired == ["arr", "ctl"]
+
+    def test_unsorted_batch_matches_scalar_schedule(self):
+        # An unsorted burst through at_many must replay exactly like the
+        # same events scheduled one-by-one through at().
+        items = [(3.0, 0), (1.0, Engine.PRIORITY_CONTROL), (1.0, 0), (2.0, 5), (1.0, 0)]
+        runs = []
+        for batched in (False, True):
+            engine, fired = Engine(), []
+            mark = lambda tag: lambda t: fired.append((t, tag))  # noqa: E731
+            if batched:
+                engine.at_many(
+                    [(t, mark(i), p) for i, (t, p) in enumerate(items)]
+                )
+            else:
+                for i, (t, p) in enumerate(items):
+                    engine.at(t, mark(i), p)
+            engine.run()
+            runs.append(fired)
+        assert runs[0] == runs[1] == [
+            (1.0, 2), (1.0, 4), (1.0, 1), (2.0, 3), (3.0, 0)
+        ]
 
 
 class TestEveryFirstAtClamp:
