@@ -13,7 +13,11 @@ Runs, in order:
 3. the same grid cold-then-warm against a throwaway disk cache and
    asserts the warm run hits every cell (zero recomputation) with
    bit-identical results, then
-4. the tier-1 test suite (``pytest -x -q`` over ``tests/``).
+4. the chaos smoke: the tiny grid again under an executor crash storm
+   (bit-identical to the fault-free inline run, retry counters matching
+   the injected crashes, zero unhandled exceptions) and a tiny
+   cluster-layer fault storm driven end to end, then
+5. the tier-1 test suite (``pytest -x -q`` over ``tests/``).
 
 Exit code is non-zero on any failure, so CI can gate pool-runner and
 cache regressions without paying for the full figure grids. Usage::
@@ -195,6 +199,86 @@ def smoke_cache() -> None:
     )
 
 
+def smoke_chaos() -> None:
+    """The fault-injection gate: chaos must not change outputs.
+
+    Re-runs the tiny grid with every pooled task crashing on its first
+    attempt more often than not, asserts the hardened pool's results are
+    bit-identical to the fault-free inline run with the retry counters
+    matching the injected crashes exactly, then drives one tiny
+    cluster-layer fault storm end to end (Rhythm vs Heracles) to prove
+    the chaos CLI path completes without unhandled exceptions.
+    """
+    from repro.bejobs.catalog import BE_CATALOG, evaluation_be_jobs
+    from repro.experiments.colocation import ColocationConfig
+    from repro.experiments.faultstorm import run_fault_storm
+    from repro.experiments.runner import clear_rhythm_cache
+    from repro.faults import ExecutorFaultPlan, executor_chaos
+    from repro.parallel.artifact import artifact_for
+    from repro.parallel.grid import (
+        GridCell,
+        comparison_fingerprint,
+        run_comparison_grid,
+    )
+    from repro.parallel.pool import pool_stats, reset_pool_stats
+    from repro.workloads.catalog import LC_CATALOG
+
+    spec = LC_CATALOG["Redis"]()
+    cells = [
+        GridCell(spec, be, load, seed=0)
+        for be in evaluation_be_jobs()[:2]
+        for load in (0.25, 0.65)
+    ]
+    config = ColocationConfig(duration_s=20.0)
+    clear_rhythm_cache()  # earlier smokes memoized these same cells
+    artifacts = {spec.name: artifact_for(spec, seed=0, probe_slacklimits=False)}
+    serial = run_comparison_grid(cells, config=config, workers=1, artifacts=artifacts)
+    reset_pool_stats()
+    t0 = time.perf_counter()
+    try:
+        with executor_chaos(ExecutorFaultPlan(seed=0, crash_rate=0.6)):
+            chaotic = run_comparison_grid(
+                cells, config=config, workers=2, artifacts=artifacts
+            )
+        stats = pool_stats()
+    finally:
+        reset_pool_stats()
+    elapsed = time.perf_counter() - t0
+    if [comparison_fingerprint(r) for r in serial] != [
+        comparison_fingerprint(r) for r in chaotic
+    ]:
+        raise AssertionError("crash-storm grid diverged from the fault-free run")
+    # Every injected crash fails the first attempt once and is retried
+    # once; a clean second attempt means no inline fallbacks were needed.
+    if stats.task_failures == 0:
+        raise AssertionError("crash storm injected no faults (vacuous gate)")
+    if stats.retries != stats.task_failures or stats.inline_fallbacks:
+        raise AssertionError(
+            f"retry counters diverged from injected crashes: "
+            f"{stats.task_failures} failures, {stats.retries} retries, "
+            f"{stats.inline_fallbacks} inline fallbacks"
+        )
+
+    t0 = time.perf_counter()
+    storm = run_fault_storm(
+        spec,
+        BE_CATALOG["stream-dram-small"],
+        load=0.5,
+        duration_s=20.0,
+        seed=0,
+        storm_seed=1,
+        faults_per_minute=9.0,
+    )
+    storm_s = time.perf_counter() - t0
+    if storm.faults_injected == 0:
+        raise AssertionError("fault storm generated an empty schedule")
+    print(
+        f"smoke chaos OK: {stats.task_failures} injected crashes all retried "
+        f"clean, bit-identical ({elapsed:.1f}s); "
+        f"{storm.faults_injected}-fault storm ran both systems ({storm_s:.1f}s)"
+    )
+
+
 def run_tier1() -> int:
     """The repo's tier-1 suite, exactly as the roadmap invokes it."""
     env = dict(**__import__("os").environ)
@@ -217,6 +301,7 @@ def main() -> int:
     smoke_parallel_grid()
     smoke_profiling()
     smoke_cache()
+    smoke_chaos()
     if args.skip_tests:
         return 0
     return run_tier1()

@@ -6,10 +6,14 @@
 #   bash scripts/ci_check.sh
 #
 # Runs, in order:
-#   1. the tier-1 test suite (PYTHONPATH=src pytest -x -q), then
-#   2. the perf smoke gate (parallel-grid bit-identity, profiling
-#      identity + cold/warm profiling round trip, and the cold/warm
-#      grid cache round trip) from scripts/bench_smoke.py.
+#   1. the tier-1 test suite (PYTHONPATH=src pytest -x -q; slow-marked
+#      chaos/spawn tests are excluded by pyproject addopts), then
+#   2. the perf + chaos smoke gate (parallel-grid bit-identity,
+#      profiling identity + cold/warm profiling round trip, the
+#      cold/warm grid cache round trip, and the chaos smoke: a crash
+#      storm that must leave results bit-identical with retry counters
+#      matching the injected crashes, plus a tiny cluster fault storm)
+#      from scripts/bench_smoke.py.
 #
 # Any failure aborts with a non-zero exit code.
 

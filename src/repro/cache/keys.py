@@ -40,7 +40,10 @@ from repro.errors import CacheKeyError
 #: :2 — profiling RNG restructure: per-load-point stream registries and
 #: candidate-derived (repeated) SLA-probe streams changed what the same
 #: config simulates, so every :1 entry must miss.
-CODE_VERSION_SALT = "rhythm-repro-cache:2"
+#: :3 — ColocationConfig grew a ``faults`` schedule field (fault
+#: injection changes what the same-looking config simulates), so every
+#: :2 entry must miss.
+CODE_VERSION_SALT = "rhythm-repro-cache:3"
 
 _PRIMITIVE_TAGS = {
     type(None): b"N",

@@ -127,6 +127,84 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a seeded fault storm under Rhythm and Heracles, same storm."""
+    from repro.experiments.faultstorm import run_fault_storm
+
+    spec = _service(args.service)
+    be = be_job_spec(args.be_job)
+    storm = run_fault_storm(
+        spec,
+        be,
+        load=args.load,
+        duration_s=args.duration,
+        seed=args.seed,
+        storm_seed=args.storm_seed,
+        faults_per_minute=args.faults_per_minute,
+        probe_slacklimits=args.probe,
+    )
+    kind_rows = [
+        [kind, count]
+        for kind, count in sorted(storm.schedule.counts_by_kind().items())
+    ]
+    print(render_table(
+        ["fault kind", "windows"],
+        kind_rows,
+        title=(
+            f"fault storm: seed {args.storm_seed}, "
+            f"{storm.faults_injected} faults over {args.duration:g}s"
+        ),
+    ))
+    rows = []
+    for name, result in (("Rhythm", storm.rhythm), ("Heracles", storm.heracles)):
+        rows.append([
+            name, result.sla_violations, round(result.worst_tail_ms, 3),
+            result.be_kills, round(result.be_throughput, 3),
+            round(result.emu, 3),
+        ])
+    print(render_table(
+        ["System", "violations", "worst tail ms", "kills", "BE tput", "EMU"],
+        rows,
+        title=f"{spec.name} + {be.name} @ {args.load:.0%} load under the storm",
+    ))
+    print(
+        f"violation gap (Heracles − Rhythm): {storm.violation_gap:+d}, "
+        f"EMU gap (Rhythm − Heracles): {storm.emu_gap:+.3f}"
+    )
+    if args.json:
+        payload = {
+            "service": storm.service,
+            "be_job": storm.be_job,
+            "load": storm.load,
+            "duration_s": storm.duration_s,
+            "storm_seed": args.storm_seed,
+            "schedule": [
+                {
+                    "kind": f.kind.value,
+                    "target": f.target,
+                    "at_s": f.at_s,
+                    "duration_s": f.duration_s,
+                    "magnitude": f.magnitude,
+                }
+                for f in storm.schedule
+            ],
+            "systems": {
+                name: {
+                    "sla_violations": result.sla_violations,
+                    "worst_tail_ms": result.worst_tail_ms,
+                    "be_kills": result.be_kills,
+                    "be_throughput": result.be_throughput,
+                    "emu": result.emu,
+                }
+                for name, result in storm.summary_rows()
+            },
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote storm report to {args.json}")
+    return 0
+
+
 def cmd_production(args: argparse.Namespace) -> int:
     """Run a production (ClarkNet) day under both systems."""
     spec = _service(args.service)
@@ -322,6 +400,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=120.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("chaos", help="fault storm: Rhythm vs Heracles")
+    p.add_argument("service")
+    p.add_argument("be_job")
+    p.add_argument("--load", type=float, default=0.5)
+    p.add_argument("--duration", type=float, default=240.0)
+    p.add_argument("--seed", type=int, default=0, help="workload seed")
+    p.add_argument("--storm-seed", type=int, default=1, help="fault-schedule seed")
+    p.add_argument("--faults-per-minute", type=float, default=3.0)
+    p.add_argument(
+        "--probe",
+        action="store_true",
+        help="derive slacklimits with the full Algorithm-1 probe "
+        "(default: fast analytic limits)",
+    )
+    p.add_argument("--json", default=None, help="also dump the report to this file")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("production", help="replay a ClarkNet production day")
     p.add_argument("service")

@@ -81,10 +81,17 @@ class DvfsGovernor:
         self.max_mhz = int(max_mhz)
         self.step_mhz = int(step_mhz)
         self._freq: dict[str, int] = {}
+        self._cap: dict[str, int] = {}
 
     def frequency(self, domain: str) -> int:
-        """Current frequency of ``domain`` in MHz (domains start at max)."""
-        return self._freq.get(domain, self.max_mhz)
+        """Current frequency of ``domain`` in MHz (domains start at max).
+
+        A hardware cap (see :meth:`set_cap`) bounds the effective
+        frequency regardless of what the governor requested.
+        """
+        freq = self._freq.get(domain, self.max_mhz)
+        cap = self._cap.get(domain)
+        return min(freq, cap) if cap is not None else freq
 
     def ratio(self, domain: str) -> float:
         """Current frequency of ``domain`` as a fraction of max."""
@@ -92,19 +99,42 @@ class DvfsGovernor:
 
     def step_down(self, domain: str) -> int:
         """Lower ``domain`` by one step (clamped at min); returns new MHz."""
-        new = max(self.min_mhz, self.frequency(domain) - self.step_mhz)
-        self._freq[domain] = new
-        return new
+        self._freq[domain] = max(self.min_mhz, self.frequency(domain) - self.step_mhz)
+        return self.frequency(domain)
 
     def step_up(self, domain: str) -> int:
         """Raise ``domain`` by one step (clamped at max); returns new MHz."""
-        new = min(self.max_mhz, self.frequency(domain) + self.step_mhz)
-        self._freq[domain] = new
-        return new
+        self._freq[domain] = min(self.max_mhz, self.frequency(domain) + self.step_mhz)
+        return self.frequency(domain)
 
     def reset(self, domain: str) -> None:
-        """Return ``domain`` to maximum frequency."""
+        """Return ``domain`` to maximum frequency (a cap still applies)."""
         self._freq.pop(domain, None)
+
+    # -- hardware frequency caps (fault injection) ----------------------
+
+    def cap(self, domain: str) -> "int | None":
+        """The hardware cap on ``domain`` in MHz, or ``None``."""
+        return self._cap.get(domain)
+
+    def set_cap(self, domain: str, mhz: int) -> None:
+        """Pin a hardware ceiling on ``domain`` (thermal/firmware fault).
+
+        The governor's requested frequency is preserved; the *effective*
+        frequency reported by :meth:`frequency` is clamped to the cap
+        until :meth:`clear_cap` lifts it — exactly how a stuck thermal
+        limit behaves: ``reset``/``step_up`` appear to succeed but the
+        silicon never speeds up.
+        """
+        if not (self.min_mhz <= mhz <= self.max_mhz):
+            raise ConfigurationError(
+                f"cap {mhz} MHz outside [{self.min_mhz}, {self.max_mhz}]"
+            )
+        self._cap[domain] = int(mhz)
+
+    def clear_cap(self, domain: str) -> None:
+        """Lift the hardware cap on ``domain``."""
+        self._cap.pop(domain, None)
 
     def set_frequency(self, domain: str, mhz: int) -> None:
         """Pin ``domain`` to an explicit frequency within the legal range."""

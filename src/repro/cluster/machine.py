@@ -25,6 +25,9 @@ from repro.errors import AllocationError, ConfigurationError
 #: cpuset/CAT owner name used for the LC Servpod on every machine.
 LC_OWNER = "lc"
 
+#: cpuset/CAT owner name holding resources lost to injected faults.
+FAULT_OWNER = "__fault__"
+
 #: DVFS domain names.
 LC_DOMAIN = "lc"
 BE_DOMAIN = "be"
@@ -310,6 +313,68 @@ class Machine:
                 self.resume_be(alloc.job_id)
                 n += 1
         return n
+
+    # -- fault-injected capacity loss -----------------------------------
+
+    @property
+    def offlined_cores(self) -> int:
+        """Cores currently held out of service by fault injection."""
+        return self.cpuset.count(FAULT_OWNER)
+
+    @property
+    def lost_llc_ways(self) -> int:
+        """LLC ways currently held out of service by fault injection."""
+        return self.llc.ways_of(FAULT_OWNER)
+
+    def offline_cores(self, n: int) -> int:
+        """Take up to ``n`` cores out of the schedulable set.
+
+        Models cores offlined after MCE errors or hot-unplug: the free
+        pool is drained first; if that is not enough, BE jobs are shrunk
+        (largest first, deterministically) down to their minimum
+        footprint to make room. The LC reservation is never touched —
+        the kernel migrates the pinned LC threads off the dead cores —
+        so the actual count taken can be less than ``n`` on a crowded
+        machine. Returns how many cores were actually offlined.
+        """
+        n = max(0, int(n))
+        while self.cpuset.free_cores < n and self._shrink_any_be():
+            pass
+        take = min(n, self.cpuset.free_cores)
+        if take > 0:
+            self.cpuset.allocate(FAULT_OWNER, take)
+        return take
+
+    def restore_offlined_cores(self, n: int) -> None:
+        """Return ``n`` previously offlined cores to the free pool."""
+        if n > 0:
+            self.cpuset.release(FAULT_OWNER, n)
+
+    def fault_llc_ways(self, n: int) -> int:
+        """Remove up to ``n`` free LLC ways from service (faulty SRAM).
+
+        Only unowned ways are physically fenced — partitions already
+        granted keep working (CAT masks are sticky) — but the *lost
+        capacity* still pressures the LC through the interference model
+        (see :meth:`repro.faults.cluster.ClusterFaultInjector`). Returns
+        how many ways were actually fenced.
+        """
+        take = min(max(0, int(n)), self.llc.free_ways)
+        if take > 0:
+            self.llc.allocate(FAULT_OWNER, take)
+        return take
+
+    def restore_fault_llc_ways(self, n: int) -> None:
+        """Return ``n`` previously fenced LLC ways to the free pool."""
+        if n > 0:
+            self.llc.release(FAULT_OWNER, n)
+
+    def _shrink_any_be(self) -> bool:
+        """Shrink the largest shrinkable BE job by one core (deterministic)."""
+        for job_id in sorted(self._be, key=lambda j: (-self._be[j].cores, j)):
+            if self.shrink_be(job_id):
+                return True
+        return False
 
     # -- capacity views -------------------------------------------------
 

@@ -55,6 +55,19 @@ class ExperimentError(ReproError):
     """An experiment harness was invoked with unusable parameters."""
 
 
+class FaultError(ReproError):
+    """A fault specification or injection schedule was invalid."""
+
+
+class InjectedWorkerFault(ReproError):
+    """A deliberately injected worker failure (chaos testing only).
+
+    Raised inside a pool worker when an :class:`~repro.faults.executor.
+    ExecutorFaultPlan` selects crash-mode sabotage for a task; the pool's
+    retry path must absorb it without surfacing to callers.
+    """
+
+
 class CacheError(ReproError):
     """The result cache was misused or misconfigured."""
 

@@ -37,6 +37,8 @@ from repro.core.subcontrollers import (
 )
 from repro.core.top_controller import CONTROL_PERIOD_S, TopController
 from repro.errors import ExperimentError
+from repro.faults.cluster import ClusterFaultInjector
+from repro.faults.spec import FaultSchedule
 from repro.interference.isolation import IsolationConfig
 from repro.interference.model import InterferenceModel, Pressure
 from repro.loadgen.generator import WindowLoadGenerator
@@ -72,6 +74,8 @@ class ColocationConfig:
     #: :class:`~repro.metrics.percentile.HistogramTailTracker` (O(1) per
     #: sample, bounded relative error — see its docstring).
     tail_estimator: str = "exact"
+    #: Cluster-layer fault schedule injected mid-run (None = healthy run).
+    faults: Optional[FaultSchedule] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -79,6 +83,11 @@ class ColocationConfig:
             raise ExperimentError(
                 f"tail_estimator must be 'exact' or 'histogram', "
                 f"got {self.tail_estimator!r}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultSchedule):
+            raise ExperimentError(
+                f"faults must be a FaultSchedule, got "
+                f"{type(self.faults).__name__}"
             )
 
 
@@ -186,6 +195,11 @@ class ColocationExperiment:
             if self.config.tail_estimator == "histogram"
             else None
         )
+        self._fault_injector: Optional[ClusterFaultInjector] = None
+        if self.config.faults is not None and len(self.config.faults) > 0:
+            self._fault_injector = ClusterFaultInjector(
+                self.deployment.cluster, self.config.faults
+            )
         self._cpu_llc = CpuLlcSubcontroller(escalate_cut=self.config.cut_escalation)
         self._frequency = FrequencySubcontroller()
         self._memory = MemorySubcontroller()
@@ -235,6 +249,12 @@ class ColocationExperiment:
         )
 
     def _tick(self, t: float, dt: float) -> None:
+        # Phase 0: the world degrades before anyone observes it — fault
+        # windows open/close on machine state the controllers then see
+        # only through their ordinary knobs (DVFS ratios, NIC shortfall,
+        # shrunken cpusets, inflated tails).
+        if self._fault_injector is not None:
+            self._fault_injector.advance(t)
         window = self._generator.window(t - dt, dt)
         load = window.load
         realized = window.realized_load
@@ -258,7 +278,11 @@ class ColocationExperiment:
                 self.config.isolation,
                 lc_freq_ratio=machine.dvfs.ratio(LC_DOMAIN),
             )
+            if self._fault_injector is not None:
+                pressure = self._fault_injector.adjust_pressure(machine, pressure)
             slowdown = servpod.slowdown(pressure, realized, self.config.interference)
+            if self._fault_injector is not None:
+                slowdown *= self._fault_injector.stall_factor(machine.spec.name)
             slowdowns[pod] = slowdown
             inflations[pod] = self.config.interference.sigma_inflation(slowdown)
 

@@ -1,0 +1,38 @@
+"""Deterministic fault injection across the reproduction's three layers.
+
+- :mod:`repro.faults.spec` — declarative, seeded fault schedules
+  (same seed ⇒ identical schedule, bit for bit).
+- :mod:`repro.faults.cluster` — mid-run machine degradation applied to a
+  live :class:`~repro.cluster.cluster.Cluster` (core offlining, stuck
+  DVFS caps, LLC way loss, NIC rate collapse, transient stalls).
+- :mod:`repro.faults.tracing` — event drop/duplication/late delivery for
+  exercising the tolerant trace-extraction paths.
+- :mod:`repro.faults.executor` — worker crash/hang sabotage for the
+  shared process pool, with the guarantee that executor-only faults
+  leave experiment results bit-identical.
+"""
+
+from repro.faults.cluster import ClusterFaultInjector, FaultEvent
+from repro.faults.executor import ExecutorFaultPlan, executor_chaos
+from repro.faults.spec import (
+    ALL_TARGETS,
+    DEFAULT_KINDS,
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.faults.tracing import TraceFaultConfig, corrupt_events
+
+__all__ = [
+    "ALL_TARGETS",
+    "DEFAULT_KINDS",
+    "ClusterFaultInjector",
+    "ExecutorFaultPlan",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultSpec",
+    "TraceFaultConfig",
+    "corrupt_events",
+    "executor_chaos",
+]

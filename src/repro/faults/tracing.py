@@ -1,0 +1,84 @@
+"""Tracing-layer fault injection: drop, duplicate and late-deliver events.
+
+The emitter's built-in noise model covers *benign* imperfections
+(unrelated processes, thread interleaving). Real kernel-event pipelines
+also lose and mangle data: per-CPU ring buffers overflow under load and
+drop events, retransmitted batches duplicate them, and delayed flushes
+stamp events visibly late so the globally sorted stream reorders. This
+module applies those corruptions deterministically so the tolerant
+extraction paths (:meth:`repro.tracing.sojourn.SojournExtractor.
+robust_stats`) can be regression-tested against a *known* degradation.
+
+Determinism: every event consumes exactly three uniform draws from a
+seed-derived generator (drop, duplicate, reorder decisions) plus one
+more when reorder fires — the schedule of corruptions is a pure
+function of ``(config.seed, stream order)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, List
+
+from repro.errors import FaultError
+from repro.faults.spec import _derived_rng
+from repro.tracing.events import SysEvent
+
+
+@dataclass(frozen=True)
+class TraceFaultConfig:
+    """Corruption rates for one event stream."""
+
+    seed: int = 0
+    #: Probability an event is lost (ring-buffer overflow).
+    drop_rate: float = 0.0
+    #: Probability an event is delivered twice (retransmitted batch).
+    duplicate_rate: float = 0.0
+    #: Probability an event's timestamp slips late (delayed flush) —
+    #: this is what reorders the time-sorted stream.
+    reorder_rate: float = 0.0
+    #: Maximum lateness added to a reordered event's timestamp.
+    reorder_jitter_ms: float = 5.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "reorder_rate"):
+            value = getattr(self, name)
+            if not (0.0 <= value < 1.0):
+                raise FaultError(f"{name} must be in [0, 1), got {value}")
+        if self.reorder_jitter_ms < 0:
+            raise FaultError(
+                f"reorder_jitter_ms must be >= 0, got {self.reorder_jitter_ms}"
+            )
+
+    @property
+    def any_corruption(self) -> bool:
+        """True when at least one rate is non-zero."""
+        return bool(self.drop_rate or self.duplicate_rate or self.reorder_rate)
+
+
+def corrupt_events(
+    events: Iterable[SysEvent], config: TraceFaultConfig
+) -> List[SysEvent]:
+    """Apply the configured corruptions to an event stream.
+
+    Order of operations per event: drop decision first (a dropped event
+    is gone, it cannot be duplicated), then late-delivery jitter, then
+    duplication (the duplicate carries the jittered timestamp — a
+    re-flushed batch re-sends what it recorded).
+    """
+    events = list(events)
+    if not config.any_corruption:
+        return events
+    rng = _derived_rng(config.seed, "trace-faults")
+    out: List[SysEvent] = []
+    for event in events:
+        u_drop, u_dup, u_reorder = rng.random(3)
+        if u_drop < config.drop_rate:
+            continue
+        if u_reorder < config.reorder_rate and config.reorder_jitter_ms > 0:
+            lateness = float(rng.random()) * config.reorder_jitter_ms
+            event = replace(event, timestamp=event.timestamp + lateness)
+        out.append(event)
+        if u_dup < config.duplicate_rate:
+            out.append(event)
+    return out

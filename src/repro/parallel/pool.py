@@ -35,6 +35,22 @@ Worker counts resolve through :func:`resolve_workers` /
 then ``os.cpu_count()``. Values below 1 clamp to 1 (a safe inline run);
 non-integer values raise :class:`~repro.errors.ExperimentError` up
 front instead of crashing inside ``ProcessPoolExecutor``.
+
+**Chaos hardening.** Real worker processes crash, wedge and get OOM-
+killed; :func:`run_envelopes` survives all three. Every envelope is
+submitted individually with a per-task deadline
+(:func:`resolve_task_timeout`, ``RHYTHM_TASK_TIMEOUT_S``); a failed or
+expired attempt is retried up to ``max_retries`` times with the
+payloads attached inline, and a task that exhausts its retries falls
+back to running inline in the parent — so a transient fault costs a
+retry while a genuinely buggy task surfaces its real traceback.
+:class:`PoolStats` counts every recovery action. Fault *injection* for
+tests rides the same envelopes: an
+:class:`~repro.faults.executor.ExecutorFaultPlan` installed via
+:func:`set_executor_fault_plan` sabotages first attempts
+deterministically (see :mod:`repro.faults.executor`); because task
+functions are pure and retries always run clean, executor-only faults
+leave results bit-identical to a fault-free inline run.
 """
 
 from __future__ import annotations
@@ -44,11 +60,18 @@ import hashlib
 import multiprocessing
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait as _wait_futures,
+)
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, InjectedWorkerFault
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV_VAR = "RHYTHM_WORKERS"
@@ -56,6 +79,10 @@ WORKERS_ENV_VAR = "RHYTHM_WORKERS"
 PROFILE_WORKERS_ENV_VAR = "RHYTHM_PROFILE_WORKERS"
 #: Force a multiprocessing start method ("fork", "spawn", "forkserver").
 MP_CONTEXT_ENV_VAR = "RHYTHM_MP_CONTEXT"
+#: Per-task wall-clock deadline (seconds); <= 0 disables the timeout.
+TASK_TIMEOUT_ENV_VAR = "RHYTHM_TASK_TIMEOUT_S"
+#: Generous default: no legitimate cell/profile task takes 10 minutes.
+DEFAULT_TASK_TIMEOUT_S = 600.0
 
 
 # -- worker-count resolution ---------------------------------------------
@@ -122,6 +149,114 @@ def resolve_profile_workers(workers: Optional[int] = None) -> int:
     if env:
         return _coerce_workers(env, PROFILE_WORKERS_ENV_VAR)
     return resolve_workers(None)
+
+
+def resolve_task_timeout(timeout: Optional[float] = None) -> Optional[float]:
+    """The effective per-task deadline in seconds, or None for no limit.
+
+    Explicit ``timeout`` wins; otherwise ``RHYTHM_TASK_TIMEOUT_S``;
+    otherwise :data:`DEFAULT_TASK_TIMEOUT_S`. A value <= 0 disables the
+    timeout entirely.
+    """
+    if timeout is not None:
+        value = float(timeout)
+    else:
+        env = os.environ.get(TASK_TIMEOUT_ENV_VAR, "").strip()
+        if env:
+            try:
+                value = float(env)
+            except ValueError:
+                raise ExperimentError(
+                    f"{TASK_TIMEOUT_ENV_VAR} must be a number of seconds, "
+                    f"got {env!r}"
+                ) from None
+        else:
+            value = DEFAULT_TASK_TIMEOUT_S
+    return value if value > 0 else None
+
+
+# -- recovery accounting and fault-plan installation ----------------------
+
+
+@dataclass
+class PoolStats:
+    """Counters for every submission and recovery action the pool took.
+
+    ``retries`` counts re-queued attempts after a failure or timeout;
+    ``inline_fallbacks`` counts tasks that exhausted their retries and
+    ran in the parent instead. Under a crash-only
+    :class:`~repro.faults.executor.ExecutorFaultPlan` the invariant
+    ``task_failures == retries == plan-predicted crashes`` holds exactly
+    (the CI chaos gate asserts it).
+    """
+
+    #: Envelope attempts handed to the executor.
+    submitted: int = 0
+    #: Attempts that returned a result from a worker.
+    completed: int = 0
+    #: Attempts re-queued after any kind of failure.
+    retries: int = 0
+    #: Futures that died with the executor (process killed / pool broken).
+    worker_crashes: int = 0
+    #: Futures that raised an ordinary exception (incl. injected crashes).
+    task_failures: int = 0
+    #: Attempts abandoned because their deadline expired.
+    timeouts: int = 0
+    #: Tasks that ran in the parent after exhausting their retries.
+    inline_fallbacks: int = 0
+    #: Worker-side broadcast misses (resolved by blob-attached resubmit).
+    broadcast_misses: int = 0
+    #: Forced executor teardowns (timeout expiry or broken pool).
+    pool_rebuilds: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """A plain-dict snapshot (stable key order for reports)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "retries": self.retries,
+            "worker_crashes": self.worker_crashes,
+            "task_failures": self.task_failures,
+            "timeouts": self.timeouts,
+            "inline_fallbacks": self.inline_fallbacks,
+            "broadcast_misses": self.broadcast_misses,
+            "pool_rebuilds": self.pool_rebuilds,
+        }
+
+
+_POOL_STATS = PoolStats()
+
+#: The installed executor fault plan (chaos testing only; None = no chaos).
+_FAULT_PLAN: Any = None
+
+
+def pool_stats() -> PoolStats:
+    """The live counter object for this process's pool."""
+    return _POOL_STATS
+
+
+def reset_pool_stats() -> None:
+    """Zero every pool counter (tests / fresh experiment phases)."""
+    global _POOL_STATS
+    _POOL_STATS = PoolStats()
+
+
+def set_executor_fault_plan(plan: Any) -> None:
+    """Install (or with None, remove) a sabotage plan for pooled tasks.
+
+    The plan travels inside each envelope, so it works for fork and
+    spawn contexts alike and never outlives the batch that shipped it.
+    The inline path (``workers <= 1``) deliberately ignores it — the
+    serial run is the fault-free reference the chaos tests compare
+    against.
+    """
+    global _FAULT_PLAN
+    _FAULT_PLAN = plan
+
+
+def executor_fault_plan() -> Any:
+    """The currently installed sabotage plan (None when chaos is off)."""
+    return _FAULT_PLAN
 
 
 # -- broadcast registry ---------------------------------------------------
@@ -319,19 +454,50 @@ class Envelope:
     ``fn`` must be a module-level callable (picklable by reference).
     ``refs`` declares every :class:`BroadcastRef` the task resolves, so
     the pool can seed workers before the batch runs. ``blobs`` carries
-    inline payloads on the resubmission path only.
+    inline payloads on the resubmission path only. ``task_key`` is a
+    content hash of (fn, args) stamped by :func:`run_envelopes`;
+    ``attempt`` counts resubmissions of this task; ``chaos`` is the
+    installed :class:`~repro.faults.executor.ExecutorFaultPlan` (or
+    None), consulted worker-side before the task runs.
     """
 
     fn: Callable[..., Any]
     args: Tuple[Any, ...]
     refs: Tuple[BroadcastRef, ...] = ()
     blobs: Optional[Tuple[Tuple[str, bytes], ...]] = None
+    task_key: str = ""
+    attempt: int = 0
+    chaos: Any = None
+
+
+def envelope_task_key(env: Envelope) -> str:
+    """Content-address one task: hash of (module, qualname, args).
+
+    Stable across runs, workers and submission order, so a fault plan
+    keyed on it sabotages the same tasks every time.
+    """
+    payload = pickle.dumps(
+        (env.fn.__module__, env.fn.__qualname__, env.args),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    return hashlib.sha256(payload).hexdigest()
 
 
 def _run_envelope(env: Envelope) -> Tuple[str, Any]:
-    """Worker-side envelope execution: absorb, resolve, run."""
+    """Worker-side envelope execution: absorb, sabotage?, resolve, run."""
     if env.blobs:
         _absorb_blobs(dict(env.blobs))
+    if env.chaos is not None:
+        action = env.chaos.action_for(env.task_key, env.attempt)
+        if action == "kill":
+            os._exit(17)  # hard worker death: breaks the whole pool
+        if action == "crash":
+            raise InjectedWorkerFault(
+                f"injected worker crash (task {env.task_key[:12]})"
+            )
+        if action == "hang":
+            # A wedged worker: sleep through the deadline, then behave.
+            time.sleep(env.chaos.hang_s)
     try:
         return ("ok", env.fn(*env.args))
     except BroadcastMissError as miss:
@@ -367,67 +533,198 @@ def _attach_blobs(env: Envelope, digests: Iterable[str]) -> Envelope:
     blobs = tuple(
         (d, _PARENT_BLOBS[d]) for d in sorted(set(digests)) if d in _PARENT_BLOBS
     )
-    return Envelope(fn=env.fn, args=env.args, refs=env.refs, blobs=blobs)
+    return replace(env, blobs=blobs)
+
+
+def _force_pool_rebuild() -> None:
+    """Kill the executor's processes and discard it (hung/broken pool).
+
+    ``ProcessPoolExecutor`` cannot cancel a *running* task, so the only
+    way to reclaim a worker stuck past its deadline is to terminate the
+    processes and rebuild. The next :func:`get_pool` call starts fresh;
+    its initializer snapshot re-seeds every broadcast payload, so no
+    seeding state is lost.
+    """
+    executor = _STATE.executor
+    if executor is not None:
+        processes = getattr(executor, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+    _STATE.executor = None
+    _STATE.workers = 0
+    _STATE.method = ""
+    _STATE.seeded = set()
+    _STATE.barrier = None
+    _POOL_STATS.pool_rebuilds += 1
 
 
 def run_envelopes(
     envelopes: Sequence[Envelope],
     workers: int,
     chunksize: Optional[int] = None,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
 ) -> List[Any]:
-    """Run envelopes, results in input order.
+    """Run envelopes, results in input order, surviving worker failures.
 
     ``workers <= 1`` (or a single envelope) runs inline in this process
     — bit-identical to the pooled path since every task function is a
-    pure function of its (broadcast-resolved) arguments.
+    pure function of its (broadcast-resolved) arguments; the inline path
+    also ignores any installed fault plan, making it the fault-free
+    reference run.
+
+    The pooled path submits each envelope individually under a deadline
+    (:func:`resolve_task_timeout`). A failed attempt — worker exception,
+    pool break, deadline expiry — is re-queued up to ``max_retries``
+    times with every referenced payload attached inline; past that the
+    task runs in the parent (``inline_fallbacks``), where a genuine bug
+    raises its real traceback. Retried attempts carry ``attempt > 0``,
+    which disarms any installed fault plan, so chaos runs converge.
+
+    ``chunksize`` is accepted for backward compatibility and ignored
+    (per-task submission replaced batched ``pool.map``).
     """
+    del chunksize  # retained in the signature for old call sites
     envelopes = list(envelopes)
     if not envelopes:
         return []
     n_workers = min(int(workers), len(envelopes))
     if n_workers <= 1:
         return [env.fn(*env.args) for env in envelopes]
+    limit = resolve_task_timeout(timeout)
+    stats = _POOL_STATS
+    plan = _FAULT_PLAN
+    base = [
+        replace(env, task_key=env.task_key or envelope_task_key(env), chaos=plan)
+        for env in envelopes
+    ]
     pool = get_pool(n_workers)
-    referenced = {ref.digest for env in envelopes for ref in env.refs}
+    referenced = {ref.digest for env in base for ref in env.refs}
     _seed_workers(pool, referenced)
     unseeded = referenced - _STATE.seeded
     if unseeded:
         # Spawn context (or a broken seeding round): payloads travel with
         # the envelopes that need them.
-        envelopes = [
+        base = [
             _attach_blobs(env, [r.digest for r in env.refs if r.digest in unseeded])
             if any(r.digest in unseeded for r in env.refs)
             else env
-            for env in envelopes
+            for env in base
         ]
-    if chunksize is None:
-        chunksize = max(1, len(envelopes) // (_STATE.workers * 4))
-    outcomes = list(pool.map(_run_envelope, envelopes, chunksize=chunksize))
+
+    n = len(base)
+    results: List[Any] = [None] * n
+    attempts = [0] * n
+    missed = [False] * n
+    needs_blobs = [False] * n
+    pending: deque = deque(range(n))
+    in_flight: Dict[Any, int] = {}
+    deadlines: Dict[Any, float] = {}
+
+    def ship(i: int) -> Envelope:
+        env = base[i]
+        if attempts[i] > 0 or needs_blobs[i]:
+            env = _attach_blobs(env, [r.digest for r in env.refs])
+        if attempts[i] > 0:
+            env = replace(env, attempt=attempts[i])
+        return env
+
+    def record_failure(i: int) -> None:
+        attempts[i] += 1
+        if attempts[i] > max_retries:
+            # Last resort: run in the parent. Injected faults never fire
+            # here; a genuinely broken task raises its real error.
+            stats.inline_fallbacks += 1
+            results[i] = base[i].fn(*base[i].args)
+        else:
+            stats.retries += 1
+            pending.append(i)
+
+    def handle_broken_pool() -> None:
+        nonlocal pool
+        for fut, j in list(in_flight.items()):
+            stats.worker_crashes += 1
+            record_failure(j)
+        in_flight.clear()
+        deadlines.clear()
+        _force_pool_rebuild()
+        pool = get_pool(n_workers)
+
+    while pending or in_flight:
+        while pending:
+            i = pending[0]
+            try:
+                fut = pool.submit(_run_envelope, ship(i))
+            except BrokenExecutor:
+                handle_broken_pool()  # i stays queued; retry on fresh pool
+                continue
+            pending.popleft()
+            stats.submitted += 1
+            in_flight[fut] = i
+            if limit is not None:
+                deadlines[fut] = time.monotonic() + limit
+        if not in_flight:
+            continue
+        wait_timeout = None
+        if deadlines:
+            wait_timeout = max(0.0, min(deadlines.values()) - time.monotonic())
+        done, _ = _wait_futures(
+            set(in_flight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+        )
+        if not done:
+            now = time.monotonic()
+            expired = [f for f, dl in deadlines.items() if dl <= now]
+            if not expired:
+                continue
+            # A worker blew its deadline. Running tasks cannot be
+            # cancelled, so tear the pool down; every in-flight task
+            # (expired and collateral alike) is retried on a fresh pool.
+            stats.timeouts += len(expired)
+            for fut, j in list(in_flight.items()):
+                record_failure(j)
+            in_flight.clear()
+            deadlines.clear()
+            _force_pool_rebuild()
+            pool = get_pool(n_workers)
+            continue
+        broken = False
+        for fut in done:
+            i = in_flight.pop(fut)
+            deadlines.pop(fut, None)
+            try:
+                status, value = fut.result()
+            except BrokenExecutor:
+                stats.worker_crashes += 1
+                record_failure(i)
+                broken = True
+                continue
+            except Exception:
+                stats.task_failures += 1
+                record_failure(i)
+                continue
+            if status == "ok":
+                stats.completed += 1
+                results[i] = value
+            else:
+                stats.broadcast_misses += 1
+                if missed[i]:
+                    raise ExperimentError(
+                        f"worker could not resolve broadcast payloads "
+                        f"{value!r} even with inline blobs attached"
+                    )
+                missed[i] = True
+                needs_blobs[i] = True
+                pending.append(i)
+        if broken:
+            handle_broken_pool()
     if unseeded:
         # The batch delivered the payloads; later batches can drop them.
         _STATE.seeded.update(d for d in unseeded if d in _PARENT_BLOBS)
-    # Safety net: a worker without the payload (respawned, missed seeding)
-    # reports a miss; resubmit just those envelopes with payloads inline.
-    results: List[Any] = [None] * len(outcomes)
-    retry: List[int] = []
-    for i, (status, value) in enumerate(outcomes):
-        if status == "ok":
-            results[i] = value
-        else:
-            retry.append(i)
-    if retry:
-        retried = pool.map(
-            _run_envelope,
-            [
-                _attach_blobs(envelopes[i], [r.digest for r in envelopes[i].refs])
-                for i in retry
-            ],
-        )
-        for i, (status, value) in zip(retry, retried):
-            if status != "ok":
-                raise ExperimentError(
-                    f"worker could not resolve broadcast payloads {value!r} "
-                    f"even with inline blobs attached"
-                )
-            results[i] = value
     return results

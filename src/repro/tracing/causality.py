@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Optional
 from repro.errors import CausalityError
 from repro.tracing.emitter import CLIENT_IP, CLIENT_PROGRAM, ServpodEndpoint
 from repro.tracing.events import ContextId, EventType, SysEvent
+from repro.tracing.health import TraceHealth
 
 
 @dataclass(frozen=True)
@@ -83,11 +84,19 @@ class CausalityMatcher:
 
     # -- intra-Servpod causality -----------------------------------------
 
-    def intra_segments(self, events: Iterable[SysEvent]) -> List[MatchedSegment]:
+    def intra_segments(
+        self,
+        events: Iterable[SysEvent],
+        health: Optional[TraceHealth] = None,
+    ) -> List[MatchedSegment]:
         """Pair RECV→SEND per context identifier, FIFO in time order.
 
         Only Servpod-side events participate (the client's SEND-first
-        pattern is handled by :meth:`client_latencies`).
+        pattern is handled by :meth:`client_latencies`). A degraded
+        stream (dropped/duplicated events) leaves SENDs without a
+        pending RECV or RECVs never consumed; pass a
+        :class:`~repro.tracing.health.TraceHealth` to have those
+        mismatches counted instead of silently ignored.
         """
         pending: Dict[ContextId, deque] = defaultdict(deque)
         segments: List[MatchedSegment] = []
@@ -102,6 +111,11 @@ class CausalityMatcher:
                 if queue:
                     recv = queue.popleft()
                     segments.append(MatchedSegment(servpod=pod, recv=recv, send=event))
+                elif health is not None:
+                    health.unmatched_sends += 1
+        if health is not None:
+            health.segments_matched += len(segments)
+            health.unmatched_recvs += sum(len(q) for q in pending.values())
         return segments
 
     # -- inter-Servpod causality -------------------------------------------

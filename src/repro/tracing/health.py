@@ -1,0 +1,59 @@
+"""Trace-quality accounting for degraded event streams.
+
+A healthy capture matches every RECV to a SEND and every Servpod has
+entry RECVs to normalize by. Under fault injection (event drop,
+duplication, late delivery — see :mod:`repro.faults.tracing`) those
+invariants break; the tolerant extraction paths *skip and flag* instead
+of raising, and this record is the flag: it counts what was filtered,
+what failed to match, which pods needed estimated visit counts and how
+many estimates had to be clamped to stay physical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass
+class TraceHealth:
+    """Counters describing how degraded one event stream was."""
+
+    #: Raw events seen / dropped by the program+message filters.
+    events_seen: int = 0
+    events_filtered: int = 0
+    #: Intra-Servpod RECV→SEND pairs successfully matched.
+    segments_matched: int = 0
+    #: SENDs with no pending RECV / RECVs never paired with a SEND.
+    unmatched_sends: int = 0
+    unmatched_recvs: int = 0
+    #: Negative spans clamped to zero (late-delivered timestamps).
+    spans_clamped: int = 0
+    #: Mean estimates clamped to the observable end-to-end bound.
+    means_bounded: int = 0
+    #: Pods whose visit count had to be estimated from matched segments.
+    pods_estimated: Tuple[str, ...] = ()
+    #: Pods skipped entirely (no segments and no visits survived).
+    pods_skipped: Tuple[str, ...] = field(default_factory=tuple)
+
+    def flag_estimated(self, pod: str) -> None:
+        """Record that ``pod``'s visit count was estimated, not observed."""
+        if pod not in self.pods_estimated:
+            self.pods_estimated = self.pods_estimated + (pod,)
+
+    def flag_skipped(self, pod: str) -> None:
+        """Record that ``pod`` produced no usable sojourn estimate."""
+        if pod not in self.pods_skipped:
+            self.pods_skipped = self.pods_skipped + (pod,)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any skip-and-flag path had to engage."""
+        return bool(
+            self.unmatched_sends
+            or self.unmatched_recvs
+            or self.spans_clamped
+            or self.means_bounded
+            or self.pods_estimated
+            or self.pods_skipped
+        )

@@ -17,13 +17,14 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Tuple
 
 from repro.errors import TracingError
 from repro.metrics.streaming import WelfordAccumulator
 from repro.tracing.causality import CausalityMatcher
 from repro.tracing.cpg import CausalPathGraph
 from repro.tracing.events import SysEvent
+from repro.tracing.health import TraceHealth
 
 
 @dataclass(frozen=True)
@@ -85,6 +86,61 @@ class SojournExtractor:
                 servpod=pod, n_requests=n, mean_ms=total / n, std_ms=0.0
             )
         return stats
+
+    def robust_stats(
+        self, events: Iterable[SysEvent]
+    ) -> Tuple[Dict[str, SojournStats], TraceHealth]:
+        """Mean sojourns from a possibly corrupted stream: skip and flag.
+
+        The tolerant sibling of :meth:`mean_only` for traces degraded by
+        event drop/duplication/late delivery (see
+        :mod:`repro.faults.tracing`). Instead of raising on broken
+        invariants it degrades gracefully and reports *how* degraded the
+        stream was through a :class:`~repro.tracing.health.TraceHealth`:
+
+        - negative spans (late-delivered SEND timestamps) clamp to 0,
+        - a pod whose entry RECVs were all dropped estimates its visit
+          count from its matched segment count (flagged),
+        - a pod with neither segments nor visits is skipped (flagged),
+        - every mean is bounded by the worst observable client latency
+          (duplicated events inflate span sums; a sojourn can never
+          exceed the end-to-end time of the slowest request).
+        """
+        health = TraceHealth()
+        raw = list(events)
+        health.events_seen = len(raw)
+        clean = self.matcher.filter(raw)
+        health.events_filtered = len(raw) - len(clean)
+        segments = self.matcher.intra_segments(clean, health=health)
+        visits = self.matcher.entry_recv_count(clean)
+        span_sum: Dict[str, float] = defaultdict(float)
+        span_count: Dict[str, int] = defaultdict(int)
+        for seg in segments:
+            span = seg.span_ms
+            if span < 0:
+                health.spans_clamped += 1
+                span = 0.0
+            span_sum[seg.servpod] += span
+            span_count[seg.servpod] += 1
+        e2e = self.matcher.client_latencies(clean)
+        bound = max(e2e) if e2e else None
+        stats: Dict[str, SojournStats] = {}
+        for pod in sorted(set(span_sum) | set(visits)):
+            n = visits.get(pod, 0)
+            if n == 0:
+                n = span_count.get(pod, 0)
+                if n == 0:
+                    health.flag_skipped(pod)
+                    continue
+                health.flag_estimated(pod)
+            mean = span_sum.get(pod, 0.0) / n
+            if bound is not None and mean > bound:
+                health.means_bounded += 1
+                mean = bound
+            stats[pod] = SojournStats(
+                servpod=pod, n_requests=n, mean_ms=mean, std_ms=0.0
+            )
+        return stats, health
 
     def stats(self, events: Iterable[SysEvent]) -> Dict[str, SojournStats]:
         """Full per-request statistics (mean, std, CoV) per Servpod.

@@ -1,4 +1,11 @@
-"""Property-based tests (hypothesis) on core invariants."""
+"""Property-based tests on core invariants.
+
+Two generator styles live here: hypothesis strategies for the original
+control-plane invariants, and hand-rolled seeded numpy generators for
+the streaming-statistics layer (``repro.metrics``) — the latter so the
+exact sample streams are reproducible from the parametrized seed alone,
+with no example database or shrinking in the way of a bisect.
+"""
 
 from __future__ import annotations
 
@@ -20,7 +27,12 @@ from repro.core.actions import BeAction
 from repro.core.top_controller import ControllerThresholds, TopController
 from repro.interference.model import InterferenceModel, Pressure
 from repro.interference.sensitivity import SensitivityVector
-from repro.metrics.percentile import WindowedTailTracker, percentile
+from repro.metrics.percentile import (
+    HistogramTailTracker,
+    WindowedTailTracker,
+    percentile,
+)
+from repro.metrics.streaming import WelfordAccumulator
 from repro.sim.events import EventQueue
 from repro.tracing.causality import CausalityMatcher
 from repro.tracing.emitter import EmitterConfig, TraceEmitter, default_endpoints
@@ -223,3 +235,183 @@ def test_tracer_means_survive_any_emitter_mode(blocking, persistent, seed):
     stats = SojournExtractor(CausalityMatcher(endpoints)).mean_only(events)
     for pod, stat in stats.items():
         assert stat.mean_ms == pytest.approx(float(np.mean(truth[pod])), rel=0.05)
+
+
+# --- streaming moments (hand-rolled seeded generators) ------------------------
+#
+# The distributions deliberately stress the numerics: uniform (benign),
+# lognormal (skewed, like latency), "tiny" (~1e-9 scale, catastrophic
+# cancellation territory for naive sum-of-squares) and "huge" (~1e9
+# scale with a small spread, where the two-pass formula would lose all
+# precision). Welford + Chan must agree with numpy's two-pass reference
+# on all of them.
+
+_WELFORD_DISTRIBUTIONS = ("uniform", "lognormal", "tiny", "huge")
+
+
+def _draw_samples(rng: np.random.Generator, distribution: str) -> np.ndarray:
+    n = int(rng.integers(2, 400))
+    if distribution == "uniform":
+        return rng.uniform(-50.0, 50.0, size=n)
+    if distribution == "lognormal":
+        return rng.lognormal(mean=1.0, sigma=1.5, size=n)
+    if distribution == "tiny":
+        return rng.uniform(1e-9, 5e-9, size=n)
+    if distribution == "huge":
+        return 1e9 + rng.uniform(0.0, 10.0, size=n)
+    raise AssertionError(distribution)
+
+
+def _assert_matches_numpy(acc: WelfordAccumulator, arr: np.ndarray) -> None:
+    assert acc.count == arr.size
+    assert acc.mean == pytest.approx(float(np.mean(arr)), rel=1e-9, abs=1e-12)
+    ref_var = float(np.var(arr, ddof=1)) if arr.size > 1 else 0.0
+    assert acc.variance(ddof=1) == pytest.approx(ref_var, rel=1e-6, abs=1e-18)
+    assert acc.std(ddof=1) == pytest.approx(math.sqrt(ref_var), rel=1e-6, abs=1e-18)
+
+
+class TestWelfordProperties:
+    """Welford/Chan accumulators vs numpy two-pass references."""
+
+    @pytest.mark.parametrize("distribution", _WELFORD_DISTRIBUTIONS)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_sequential_add_matches_numpy(self, seed, distribution):
+        rng = np.random.default_rng(1000 * seed + 17)
+        arr = _draw_samples(rng, distribution)
+        acc = WelfordAccumulator()
+        for value in arr:
+            acc.add(float(value))
+        _assert_matches_numpy(acc, arr)
+
+    @pytest.mark.parametrize("distribution", _WELFORD_DISTRIBUTIONS)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_add_many_matches_sequential(self, seed, distribution):
+        rng = np.random.default_rng(2000 * seed + 29)
+        arr = _draw_samples(rng, distribution)
+        batched = WelfordAccumulator()
+        # Random batch boundaries so the Chan combine runs at odd sizes.
+        cuts = np.sort(rng.integers(0, arr.size + 1, size=int(rng.integers(0, 5))))
+        for chunk in np.split(arr, cuts):
+            batched.add_many(chunk)
+        _assert_matches_numpy(batched, arr)
+
+    @pytest.mark.parametrize("shards", [2, 3, 7])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_merge_of_shards_matches_whole(self, seed, shards):
+        rng = np.random.default_rng(3000 * seed + 31)
+        arr = rng.lognormal(mean=0.5, sigma=1.0, size=int(rng.integers(shards, 500)))
+        parts = np.array_split(arr, shards)
+        accs = []
+        for part in parts:
+            acc = WelfordAccumulator()
+            acc.add_many(part)
+            accs.append(acc)
+        merged = accs[0]
+        for other in accs[1:]:
+            merged.merge(other)
+        _assert_matches_numpy(merged, arr)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_merge_order_invariant(self, seed):
+        rng = np.random.default_rng(4000 * seed + 37)
+        arr = rng.uniform(0.0, 100.0, size=60)
+        parts = np.array_split(arr, 4)
+
+        def fold(order):
+            acc = WelfordAccumulator()
+            for i in order:
+                shard = WelfordAccumulator()
+                shard.add_many(parts[i])
+                acc.merge(shard)
+            return acc
+
+        forward = fold([0, 1, 2, 3])
+        backward = fold([3, 2, 1, 0])
+        assert forward.mean == pytest.approx(backward.mean, rel=1e-12)
+        assert forward.variance() == pytest.approx(backward.variance(), rel=1e-9)
+
+    def test_degenerate_inputs(self):
+        acc = WelfordAccumulator()
+        acc.add_many([])  # no-op
+        assert acc.count == 0 and acc.mean == 0.0 and acc.variance() == 0.0
+        acc.add(3.5)
+        assert acc.count == 1
+        assert acc.mean == pytest.approx(3.5)
+        assert acc.variance(ddof=1) == 0.0  # below ddof + 1 samples
+        empty = WelfordAccumulator()
+        acc.merge(empty)  # merging an empty accumulator changes nothing
+        assert acc.count == 1 and acc.mean == pytest.approx(3.5)
+
+
+# --- histogram tail tracker (hand-rolled seeded generators) -------------------
+
+
+def _nearest_rank(samples: np.ndarray, pct: float) -> float:
+    """The exact nearest-rank percentile the histogram approximates."""
+    rank = max(1, int(math.ceil(pct / 100.0 * samples.size)))
+    return float(np.sort(samples)[rank - 1])
+
+
+class TestHistogramTailProperties:
+    """HistogramTailTracker vs exact nearest-rank references."""
+
+    @pytest.mark.parametrize("pct", [50.0, 90.0, 99.0])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_in_range_estimate_within_error_bound(self, seed, pct):
+        rng = np.random.default_rng(5000 * seed + 41)
+        tracker = HistogramTailTracker(pct=pct)
+        n = int(rng.integers(5, 2000))
+        # Log-uniform strictly inside (lo_ms, hi_ms): every sample lands
+        # in a regular bin, so the geometric-midpoint bound applies.
+        log_lo = math.log(tracker.lo_ms * 1.01)
+        log_hi = math.log(tracker.hi_ms * 0.99)
+        samples = np.exp(rng.uniform(log_lo, log_hi, size=n))
+        tracker.add_samples(samples)
+        estimate = tracker.roll_window()
+        exact = _nearest_rank(samples, pct)
+        # 1.0001 absorbs float rounding at bin boundaries.
+        assert abs(estimate - exact) / exact <= tracker.error_bound * 1.0001
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_add_and_add_samples_agree(self, seed):
+        rng = np.random.default_rng(6000 * seed + 43)
+        samples = np.exp(rng.uniform(math.log(0.1), math.log(1e4), size=300))
+        one_by_one = HistogramTailTracker()
+        for value in samples:
+            one_by_one.add(float(value))
+        batched = HistogramTailTracker()
+        batched.add_samples(samples)
+        assert one_by_one.roll_window() == pytest.approx(batched.roll_window())
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_overflow_bucket_reports_exact_window_max(self, seed):
+        rng = np.random.default_rng(7000 * seed + 47)
+        tracker = HistogramTailTracker(pct=99.0, lo_ms=0.1, hi_ms=10.0, bins=16)
+        # Mostly-overflowing window: the 99th-percentile rank falls in
+        # the overflow bucket, whose quantile is the exact maximum.
+        samples = rng.uniform(20.0, 500.0, size=200)
+        tracker.add_samples(samples)
+        assert tracker.roll_window() == pytest.approx(float(samples.max()))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_worst_tail_and_violations_track_windows(self, seed):
+        rng = np.random.default_rng(8000 * seed + 53)
+        tracker = HistogramTailTracker(pct=95.0)
+        for _ in range(int(rng.integers(2, 8))):
+            tracker.add_samples(np.exp(rng.uniform(0.0, 6.0, size=50)))
+            tracker.roll_window()
+        tails = tracker.window_tails
+        assert tracker.worst_tail == pytest.approx(max(tails))
+        sla = float(np.median(tails))
+        assert tracker.violation_count(sla) == sum(1 for t in tails if t > sla)
+
+    def test_error_bound_matches_bin_geometry(self):
+        tracker = HistogramTailTracker()  # lo=1e-2, hi=1e5, bins=512
+        expected = math.sqrt(tracker.hi_ms / tracker.lo_ms) ** (1.0 / 512) - 1.0
+        assert tracker.error_bound == pytest.approx(expected, rel=1e-9)
+        assert tracker.error_bound < 0.017  # ~1.6% with the defaults
+
+    def test_empty_window_rolls_to_none(self):
+        tracker = HistogramTailTracker()
+        assert tracker.roll_window() is None
+        assert tracker.worst_tail is None and tracker.window_tails == ()
