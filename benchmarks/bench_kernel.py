@@ -1,0 +1,232 @@
+"""Scalar-vs-batched simulation kernel benchmark → ``BENCH_kernel.json``.
+
+Times the same workloads under both kernels on ONE core and reports
+events/sec and the speedup, per workload and in aggregate:
+
+- ``colocation``: one Redis-vs-Heracles co-location cell (the control
+  tick path the batched SoA kernel vectorises).
+- ``queueing``: a G/G/8 request-level queue near saturation (the path
+  where the engine-free Lindley recurrence replaces hundreds of
+  thousands of discrete events).
+
+Identity is checked the hard way before any number is reported:
+fingerprints plus the final state of every RNG stream must match across
+kernels in-process, in a fork-started child and in a spawn-started
+child, with and without fault injection. ``identical_results`` is the
+conjunction of all of those checks — a fast batched kernel that drifts
+by one bit fails the benchmark outright.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_kernel.py
+[--out BENCH_kernel.json] [--gate 5.0]``) or via
+``pytest benchmarks/bench_kernel.py --benchmark-only``. With ``--gate
+X`` the process exits non-zero when the aggregate speedup falls below
+``X``× or identity fails — CI wires this behind ``RHYTHM_BENCH_GATE=1``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.baselines.heracles import heracles_controllers
+from repro.bejobs.catalog import evaluation_be_jobs
+from repro.experiments.colocation import ColocationConfig, ColocationExperiment
+from repro.experiments.runner import kernel_identity_probe
+from repro.loadgen.patterns import ConstantLoad
+from repro.parallel.grid import colocation_fingerprint
+from repro.sim.rng import RandomStreams
+from repro.workloads.catalog import redis_service
+from repro.workloads.queueing import QueueingComponent
+
+#: Per-workload sizing. The colocation cell runs the full control loop
+#: at the paper's 2 s period; the queue runs at 70% of an 8-worker
+#: component's capacity, which yields ~10^5 events per simulated minute.
+COLOCATION_DURATION_S = 600.0
+QUEUE_DURATION_S = 120.0
+QUEUE_LOAD = 0.7
+DEFAULT_REPORT = "BENCH_kernel.json"
+DEFAULT_GATE = None
+
+
+def _run_colocation(kernel: str) -> Tuple[float, int, Tuple]:
+    """One timed co-location cell; returns (seconds, events, fingerprint)."""
+    service = redis_service()
+    experiment = ColocationExperiment(
+        service,
+        heracles_controllers(service),
+        [evaluation_be_jobs()[0]],
+        ConstantLoad(0.55),
+        streams=RandomStreams(7),
+        config=ColocationConfig(duration_s=COLOCATION_DURATION_S),
+        kernel=kernel,
+    )
+    t0 = time.perf_counter()
+    result = experiment.run()
+    elapsed = time.perf_counter() - t0
+    states = tuple(
+        (name, repr(experiment.streams._streams[name].bit_generator.state))
+        for name in sorted(experiment.streams._streams)
+    )
+    return elapsed, result.events_fired, (colocation_fingerprint(result), states)
+
+
+def _run_queueing(kernel: str) -> Tuple[float, int, Tuple]:
+    """One timed queueing run; returns (seconds, events, fingerprint)."""
+    component = QueueingComponent(2.0, 0.3, workers=8)
+    streams = RandomStreams(11)
+    t0 = time.perf_counter()
+    stats = component.simulate(
+        QUEUE_LOAD * component.capacity_qps,
+        QUEUE_DURATION_S,
+        streams,
+        kernel=kernel,
+    )
+    elapsed = time.perf_counter() - t0
+    states = tuple(
+        (name, repr(streams._streams[name].bit_generator.state))
+        for name in sorted(streams._streams)
+    )
+    return elapsed, stats.events, (stats, states)
+
+
+def _subprocess_identity() -> bool:
+    """Cross-process identity: fork and spawn children must reproduce the
+    parent's scalar run bit-for-bit under the batched kernel, with and
+    without fault injection."""
+    cases = [
+        {"seed": 5, "pattern_name": "step", "with_faults": False},
+        {"seed": 5, "pattern_name": "constant", "with_faults": True},
+    ]
+    methods = [
+        m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()
+    ]
+    for method in methods:
+        ctx = multiprocessing.get_context(method)
+        with ctx.Pool(1) as pool:
+            for case in cases:
+                child = pool.apply(kernel_identity_probe, ("batched",), case)
+                if kernel_identity_probe("scalar", **case) != child:
+                    return False
+    return bool(methods)
+
+
+def run_benchmark(
+    out: Optional[str] = DEFAULT_REPORT, gate: Optional[float] = DEFAULT_GATE
+) -> Dict[str, object]:
+    """Time both kernels on both workloads; write and return the report."""
+    workloads: Dict[str, Dict[str, object]] = {}
+    identical = True
+    total = {"scalar_s": 0.0, "batched_s": 0.0, "events": 0}
+
+    for name, runner in (("colocation", _run_colocation), ("queueing", _run_queueing)):
+        scalar_s, scalar_events, scalar_print = runner("scalar")
+        batched_s, batched_events, batched_print = runner("batched")
+        same = scalar_print == batched_print and scalar_events == batched_events
+        identical = identical and same
+        workloads[name] = {
+            "scalar_s": round(scalar_s, 4),
+            "batched_s": round(batched_s, 4),
+            "events": scalar_events,
+            "events_per_sec_scalar": round(scalar_events / scalar_s, 1),
+            "events_per_sec_batched": round(batched_events / batched_s, 1),
+            "speedup": round(scalar_s / batched_s, 2) if batched_s > 0 else None,
+            "identical": same,
+        }
+        total["scalar_s"] += scalar_s
+        total["batched_s"] += batched_s
+        total["events"] += scalar_events
+
+    # In-process identity under every probe pattern, plus faults.
+    probe_ok = all(
+        kernel_identity_probe("scalar", seed=3, pattern_name=p, with_faults=f)
+        == kernel_identity_probe("batched", seed=3, pattern_name=p, with_faults=f)
+        for p, f in (
+            ("constant", False),
+            ("step", False),
+            ("sweep", False),
+            ("diurnal", True),
+        )
+    )
+    subprocess_ok = _subprocess_identity()
+    identical = identical and probe_ok and subprocess_ok
+
+    speedup = (
+        round(total["scalar_s"] / total["batched_s"], 2)
+        if total["batched_s"] > 0
+        else None
+    )
+    report: Dict[str, object] = {
+        "benchmark": "simulation_kernel",
+        "workloads": workloads,
+        "sim_events": total["events"],
+        "scalar_s": round(total["scalar_s"], 4),
+        "batched_s": round(total["batched_s"], 4),
+        "events_per_sec_scalar": round(total["events"] / total["scalar_s"], 1),
+        "events_per_sec_batched": round(total["events"] / total["batched_s"], 1),
+        "speedup": speedup,
+        "identity_checks": {
+            "workload_outputs": all(
+                w["identical"] for w in workloads.values()
+            ),
+            "probe_patterns": probe_ok,
+            "fork_and_spawn_subprocesses": subprocess_ok,
+        },
+        "identical_results": identical,
+    }
+    if gate is not None:
+        report["gate"] = gate
+        report["gate_passed"] = bool(
+            identical and speedup is not None and speedup >= gate
+        )
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+    return report
+
+
+def test_kernel_speedup(benchmark):
+    """One measured round: scalar vs batched kernel, bit-identity checked."""
+    from conftest import run_once
+
+    report = run_once(benchmark, run_benchmark)
+    print()
+    print(json.dumps(report, indent=2))
+    assert report["identical_results"], "batched kernel diverged from scalar"
+    assert report["speedup"] >= 5.0, (
+        f"expected >=5x aggregate kernel speedup, got {report['speedup']}x"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=DEFAULT_REPORT)
+    parser.add_argument(
+        "--gate",
+        type=float,
+        default=None,
+        help="fail (exit 1) if aggregate speedup < GATE or identity fails",
+    )
+    args = parser.parse_args()
+    report = run_benchmark(out=args.out, gate=args.gate)
+    print(json.dumps(report, indent=2))
+    if not report["identical_results"]:
+        print("FAIL: batched kernel diverged from the scalar reference")
+        return 1
+    line = (
+        f"\n{report['sim_events']} events | scalar {report['scalar_s']}s | "
+        f"batched {report['batched_s']}s | speedup {report['speedup']}x | "
+        f"report -> {args.out}"
+    )
+    print(line)
+    if args.gate is not None and not report.get("gate_passed"):
+        print(f"FAIL: speedup {report['speedup']}x below gate {args.gate}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

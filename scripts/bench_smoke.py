@@ -17,7 +17,10 @@ Runs, in order:
    (bit-identical to the fault-free inline run, retry counters matching
    the injected crashes, zero unhandled exceptions) and a tiny
    cluster-layer fault storm driven end to end, then
-5. the tier-1 test suite (``pytest -x -q`` over ``tests/``).
+5. the kernel smoke: a small co-location cell (healthy and faulted) and
+   a short queueing run under the scalar and batched simulation kernels,
+   asserting bit-identical results and RNG states, then
+6. the tier-1 test suite (``pytest -x -q`` over ``tests/``).
 
 Exit code is non-zero on any failure, so CI can gate pool-runner and
 cache regressions without paying for the full figure grids. Usage::
@@ -279,6 +282,55 @@ def smoke_chaos() -> None:
     )
 
 
+def smoke_kernel() -> None:
+    """The scalar-vs-batched kernel identity gate.
+
+    A small co-location cell (healthy and under a fault schedule) and a
+    short queueing run must produce bit-identical results — fingerprints
+    plus the final state of every RNG stream — under both kernels.
+    """
+    from repro.experiments.runner import kernel_identity_probe
+    from repro.sim.rng import RandomStreams
+    from repro.workloads.queueing import QueueingComponent
+
+    t0 = time.perf_counter()
+    for pattern, faults in (("constant", False), ("step", True)):
+        scalar = kernel_identity_probe(
+            "scalar", seed=3, pattern_name=pattern, with_faults=faults
+        )
+        batched = kernel_identity_probe(
+            "batched", seed=3, pattern_name=pattern, with_faults=faults
+        )
+        if scalar != batched:
+            raise AssertionError(
+                f"batched kernel diverged from scalar "
+                f"(pattern={pattern}, faults={faults})"
+            )
+
+    runs = {}
+    for kernel in ("scalar", "batched"):
+        component = QueueingComponent(2.0, 0.3, workers=8)
+        streams = RandomStreams(11)
+        stats = component.simulate(
+            0.7 * component.capacity_qps, 20.0, streams, kernel=kernel
+        )
+        runs[kernel] = (
+            stats,
+            tuple(
+                (name, repr(streams._streams[name].bit_generator.state))
+                for name in sorted(streams._streams)
+            ),
+        )
+    if runs["scalar"] != runs["batched"]:
+        raise AssertionError("batched queueing run diverged from scalar")
+    elapsed = time.perf_counter() - t0
+    print(
+        f"smoke kernel OK: colocation (healthy + faulted) and "
+        f"{runs['scalar'][0].events}-event queueing run bit-identical "
+        f"across kernels ({elapsed:.1f}s)"
+    )
+
+
 def run_tier1() -> int:
     """The repo's tier-1 suite, exactly as the roadmap invokes it."""
     env = dict(**__import__("os").environ)
@@ -302,6 +354,7 @@ def main() -> int:
     smoke_profiling()
     smoke_cache()
     smoke_chaos()
+    smoke_kernel()
     if args.skip_tests:
         return 0
     return run_tier1()

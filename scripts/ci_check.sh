@@ -12,8 +12,11 @@
 #      profiling identity + cold/warm profiling round trip, the
 #      cold/warm grid cache round trip, and the chaos smoke: a crash
 #      storm that must leave results bit-identical with retry counters
-#      matching the injected crashes, plus a tiny cluster fault storm)
-#      from scripts/bench_smoke.py.
+#      matching the injected crashes, plus a tiny cluster fault storm,
+#      and the scalar-vs-batched kernel identity smoke)
+#      from scripts/bench_smoke.py, then
+#   3. (opt-in, RHYTHM_BENCH_GATE=1) the full kernel benchmark with a 5x
+#      aggregate-speedup gate (benchmarks/bench_kernel.py --gate 5.0).
 #
 # Any failure aborts with a non-zero exit code.
 
@@ -29,6 +32,12 @@ python -m pytest -x -q
 echo
 echo "== perf smoke gate =="
 python scripts/bench_smoke.py --skip-tests
+
+if [[ "${RHYTHM_BENCH_GATE:-0}" == "1" ]]; then
+  echo
+  echo "== kernel benchmark gate (RHYTHM_BENCH_GATE=1) =="
+  python benchmarks/bench_kernel.py --gate 5.0
+fi
 
 echo
 echo "ci_check OK"

@@ -43,7 +43,11 @@ from repro.errors import CacheKeyError
 #: :3 — ColocationConfig grew a ``faults`` schedule field (fault
 #: injection changes what the same-looking config simulates), so every
 #: :2 entry must miss.
-CODE_VERSION_SALT = "rhythm-repro-cache:3"
+#: :4 — batched SoA kernel landing touched result-affecting code paths
+#: (engine batch-pop loop, vectorized rate/latency/queueing math); the
+#: kernels are pinned bit-identical to each other, but :3 entries
+#: predate the identity pin and must miss.
+CODE_VERSION_SALT = "rhythm-repro-cache:4"
 
 _PRIMITIVE_TAGS = {
     type(None): b"N",

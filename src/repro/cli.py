@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import asdict
 from typing import List, Optional
@@ -38,6 +39,20 @@ from repro.loadgen.clarknet import clarknet_production_load
 from repro.workloads.catalog import LC_CATALOG, lc_service_spec
 from repro.workloads.microservices import snms_service
 from repro.workloads.spec import ServiceSpec
+
+
+def _apply_kernel(args: argparse.Namespace) -> None:
+    """Export ``--kernel`` as ``RHYTHM_KERNEL`` for this process tree.
+
+    The environment variable (rather than threading a parameter through
+    every driver) reaches worker-pool subprocesses under both fork and
+    spawn start methods, so a whole grid runs on the chosen kernel.
+    """
+    kernel = getattr(args, "kernel", None)
+    if kernel:
+        from repro.sim.kernel import KERNEL_ENV_VAR, resolve_kernel
+
+        os.environ[KERNEL_ENV_VAR] = resolve_kernel(kernel)
 
 
 def _service(name: str) -> ServiceSpec:
@@ -131,6 +146,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     """Run a seeded fault storm under Rhythm and Heracles, same storm."""
     from repro.experiments.faultstorm import run_fault_storm
 
+    _apply_kernel(args)
     spec = _service(args.service)
     be = be_job_spec(args.be_job)
     storm = run_fault_storm(
@@ -278,6 +294,7 @@ def cmd_grid(args: argparse.Namespace) -> int:
     from repro.parallel.grid import GridCacheStats, resolve_workers
     from repro.parallel.pool import resolve_profile_workers
 
+    _apply_kernel(args)
     workers = resolve_workers(args.workers)
     profile_workers = resolve_profile_workers(
         args.profile_workers if args.profile_workers is not None else args.workers
@@ -416,6 +433,9 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: fast analytic limits)",
     )
     p.add_argument("--json", default=None, help="also dump the report to this file")
+    p.add_argument("--kernel", choices=["scalar", "batched"], default=None,
+                   help="simulation kernel (default: RHYTHM_KERNEL or scalar; "
+                        "results are bit-identical either way)")
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("production", help="replay a ClarkNet production day")
@@ -448,6 +468,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="reuse cached cell results and cache new ones "
                         "(RHYTHM_CACHE_DIR; RHYTHM_CACHE=off also disables)")
     p.add_argument("--json", default=None, help="also dump rows to this file")
+    p.add_argument("--kernel", choices=["scalar", "batched"], default=None,
+                   help="simulation kernel for every cell (default: "
+                        "RHYTHM_KERNEL or scalar; results are bit-identical "
+                        "either way)")
     p.set_defaults(fn=cmd_grid)
 
     p = sub.add_parser("cache", help="inspect or clear the result cache")

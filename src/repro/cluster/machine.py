@@ -125,6 +125,12 @@ class Machine:
         self.counters = MachineCounters()
         self._lc_memory_gb = 0.0
         self._be: Dict[str, BeAllocation] = {}
+        #: Monotonic BE-allocation version. Bumped on every change that can
+        #: affect BE progress rates (launch/kill, core/LLC grow-shrink,
+        #: suspend/resume) so rate computations can cache per-job inputs
+        #: and revalidate with one integer compare. Memory sizing does not
+        #: bump it — memory never enters the rate model.
+        self.version = 0
 
     # -- LC reservation -----------------------------------------------------
 
@@ -223,6 +229,7 @@ class Machine:
         )
         self._be[job_id] = alloc
         self.counters.be_launches += 1
+        self.version += 1
         return alloc
 
     def grow_be(self, job_id: str) -> bool:
@@ -236,6 +243,7 @@ class Machine:
             self.llc.allocate(job_id, step)
         alloc.cores += 1
         alloc.llc_ways += step
+        self.version += 1
         return True
 
     def shrink_be(self, job_id: str) -> bool:
@@ -252,6 +260,7 @@ class Machine:
             self.llc.release(job_id, step)
         alloc.cores -= 1
         alloc.llc_ways -= step
+        self.version += 1
         return True
 
     def grow_be_memory(self, job_id: str) -> bool:
@@ -276,10 +285,12 @@ class Machine:
         if not alloc.suspended:
             alloc.suspended = True
             self.counters.be_suspensions += 1
+            self.version += 1
 
     def resume_be(self, job_id: str) -> None:
         """Resume a suspended BE job."""
         self._require(job_id).suspended = False
+        self.version += 1
 
     def kill_be(self, job_id: str) -> None:
         """Kill ``job_id`` and release every resource it held."""
@@ -288,6 +299,7 @@ class Machine:
         self.llc.release_all(job_id)
         del self._be[alloc.job_id]
         self.counters.be_kills += 1
+        self.version += 1
 
     def kill_all_be(self) -> int:
         """Kill every BE job on the machine; returns how many were killed."""

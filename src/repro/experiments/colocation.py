@@ -46,6 +46,7 @@ from repro.loadgen.patterns import LoadPattern
 from repro.metrics.collector import MachineMetrics
 from repro.metrics.percentile import HistogramTailTracker, percentile
 from repro.sim.engine import Engine
+from repro.sim.kernel import BatchedColocationKernel, resolve_kernel
 from repro.sim.rng import RandomStreams
 from repro.workloads.service import Service, ServiceState
 from repro.workloads.spec import ServiceSpec
@@ -166,6 +167,7 @@ class ColocationExperiment:
         pattern: LoadPattern,
         streams: Optional[RandomStreams] = None,
         config: Optional[ColocationConfig] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         missing = set(service.servpod_names) - set(controllers)
         if missing:
@@ -221,6 +223,14 @@ class ColocationExperiment:
                     tail_pct=service.tail_percentile,
                 ),
             )
+        # Kernel selection is deliberately *not* part of the config:
+        # both kernels are pinned bit-identical, so cached results are
+        # shared across them (tests prove the identity that justifies
+        # this — see tests/test_kernel_identity.py).
+        self.kernel = resolve_kernel(kernel)
+        self._batched: Optional[BatchedColocationKernel] = (
+            BatchedColocationKernel(self) if self.kernel == "batched" else None
+        )
 
     # -- the control loop ----------------------------------------------------
 
@@ -249,13 +259,10 @@ class ColocationExperiment:
         )
 
     def _tick(self, t: float, dt: float) -> None:
-        # Phase 0: the world degrades before anyone observes it — fault
-        # windows open/close on machine state the controllers then see
-        # only through their ordinary knobs (DVFS ratios, NIC shortfall,
-        # shrunken cpusets, inflated tails).
-        if self._fault_injector is not None:
-            self._fault_injector.advance(t)
-        window = self._generator.window(t - dt, dt)
+        if self._batched is not None:
+            self._batched.tick(t, dt)
+            return
+        window = self._begin_tick(t, dt)
         load = window.load
         realized = window.realized_load
 
@@ -293,26 +300,54 @@ class ColocationExperiment:
         state = ServiceState(slowdowns=slowdowns, sigma_inflations=inflations)
         if window.n_samples > 0:
             latencies = self.service.sample_e2e(realized, window.n_samples, state)
-            if self._tail_estimator is not None:
-                self._tail_estimator.add_samples(latencies)
-                tail_ms = float(self._tail_estimator.roll_window() or 0.0)
-            else:
-                tail_ms = float(
-                    percentile(latencies, self.spec.tail_percentile)
-                )
+            tail_ms = self._window_tail(latencies)
             window_closed = True
         else:
             tail_ms = 0.0
             window_closed = False
 
-        # Phase 3: BE progress over this period.
+        self._advance_be(dt, snapshots)
+        self._control_phase(t, dt, load, tail_ms, window_closed, snapshots, usages)
+
+    # -- shared tick phases (used by both kernels) ----------------------------
+
+    def _begin_tick(self, t: float, dt: float):
+        """Phase 0: the world degrades before anyone observes it — fault
+        windows open/close on machine state the controllers then see
+        only through their ordinary knobs (DVFS ratios, NIC shortfall,
+        shrunken cpusets, inflated tails). Returns the load window."""
+        if self._fault_injector is not None:
+            self._fault_injector.advance(t)
+        return self._generator.window(t - dt, dt)
+
+    def _window_tail(self, latencies: np.ndarray) -> float:
+        """The window tail estimate from this tick's latency samples."""
+        if self._tail_estimator is not None:
+            self._tail_estimator.add_samples(latencies)
+            return float(self._tail_estimator.roll_window() or 0.0)
+        return float(percentile(latencies, self.spec.tail_percentile))
+
+    def _advance_be(
+        self, dt: float, snapshots: Mapping[str, BeResourceSnapshot]
+    ) -> None:
+        """Phase 3: BE progress over this period."""
         for pod, run in self._runs.items():
             snapshot = snapshots[pod]
             for job in run.pool.running():
                 job.advance(dt, snapshot.rates.get(job.job_id, 0.0))
 
-        # Phase 4: control decisions + metrics. The per-pod usage was
-        # computed in phase 1 (same pod, same realized load) — reuse it.
+    def _control_phase(
+        self,
+        t: float,
+        dt: float,
+        load: float,
+        tail_ms: float,
+        window_closed: bool,
+        snapshots: Mapping[str, BeResourceSnapshot],
+        usages: Mapping[str, LcUsage],
+    ) -> None:
+        """Phase 4: control decisions + metrics. The per-pod usage was
+        computed in phase 1 (same pod, same realized load) — reuse it."""
         for pod, run in self._runs.items():
             servpod = self.deployment.servpod(pod)
             machine = servpod.machine

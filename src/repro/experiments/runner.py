@@ -124,8 +124,14 @@ def run_cell(
     pattern: LoadPattern,
     seed: int = 0,
     config: Optional[ColocationConfig] = None,
+    kernel: Optional[str] = None,
 ) -> ColocationResult:
-    """Run one (service, BE, load pattern) cell under one controller set."""
+    """Run one (service, BE, load pattern) cell under one controller set.
+
+    ``kernel`` selects the simulation kernel for this cell (default:
+    the ``RHYTHM_KERNEL`` environment variable, else scalar). Results
+    are bit-identical across kernels, so cached cells are shared.
+    """
     experiment = ColocationExperiment(
         service,
         controllers,
@@ -133,8 +139,62 @@ def run_cell(
         pattern,
         streams=RandomStreams(seed),
         config=config,
+        kernel=kernel,
     )
     return experiment.run()
+
+
+def kernel_identity_probe(
+    kernel: str,
+    seed: int = 0,
+    pattern_name: str = "constant",
+    with_faults: bool = False,
+    duration_s: float = 60.0,
+) -> Tuple:
+    """Run one small colocation cell under ``kernel`` and fingerprint it.
+
+    Importable by reference (spawn-safe), so the kernel-identity tests
+    and benchmark can execute it in fork- and spawn-started subprocesses
+    and compare full result fingerprints plus the final state of every
+    RNG stream across kernels. Uses the Heracles controller set — the
+    probe exercises the simulation kernel, not the profiling pipeline.
+    """
+    from repro.baselines.heracles import heracles_controllers
+    from repro.bejobs.catalog import evaluation_be_jobs
+    from repro.faults.spec import FaultSchedule
+    from repro.loadgen.patterns import ConstantLoad, DiurnalLoad, StepLoad, SweepLoad
+    from repro.parallel.grid import colocation_fingerprint
+    from repro.workloads.catalog import redis_service
+
+    patterns = {
+        "constant": lambda: ConstantLoad(0.55),
+        "step": lambda: StepLoad([(0.0, 0.3), (duration_s / 3, 0.8), (2 * duration_s / 3, 0.5)]),
+        "sweep": lambda: SweepLoad(0.2, 0.9, duration_s),
+        "diurnal": lambda: DiurnalLoad(base=0.5, amplitude=0.3, period_s=duration_s),
+    }
+    if pattern_name not in patterns:
+        raise ExperimentError(f"unknown probe pattern {pattern_name!r}")
+    service = redis_service()
+    faults = (
+        FaultSchedule.generate(seed + 1, duration_s, faults_per_minute=4.0)
+        if with_faults
+        else None
+    )
+    experiment = ColocationExperiment(
+        service,
+        heracles_controllers(service),
+        [evaluation_be_jobs()[0]],
+        patterns[pattern_name](),
+        streams=RandomStreams(seed),
+        config=ColocationConfig(duration_s=duration_s, faults=faults),
+        kernel=kernel,
+    )
+    fingerprint = colocation_fingerprint(experiment.run())
+    rng_states = tuple(
+        (name, repr(experiment.streams._streams[name].bit_generator.state))
+        for name in sorted(experiment.streams._streams)
+    )
+    return fingerprint, rng_states
 
 
 @dataclass

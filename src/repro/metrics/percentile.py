@@ -104,8 +104,15 @@ class WindowedTailTracker:
         self._worst: Optional[float] = None
 
     def add_samples(self, values: Iterable[float]) -> None:
-        """Add latency samples to the current window."""
-        self._window.extend(float(v) for v in values)
+        """Add latency samples to the current window.
+
+        Bulk path: one ``asarray`` + ``tolist`` round-trip replaces the
+        per-value ``float()`` loop for array inputs (float64 round-trips
+        exactly, so the stored samples are unchanged).
+        """
+        if not isinstance(values, (list, tuple, np.ndarray)):
+            values = list(values)
+        self._window.extend(np.asarray(values, dtype=float).tolist())
 
     def roll_window(self) -> Optional[float]:
         """Close the current window; returns its tail (None if empty)."""

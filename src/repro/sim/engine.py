@@ -63,20 +63,21 @@ class Engine:
 
         One O(n) heapify replaces n sift-ups — the fast path for
         arrival bursts where a load generator materialises a whole
-        window (or run) of arrivals at once.
+        window (or run) of arrivals at once. Items that carry no
+        explicit priority pass straight through to the queue (which
+        applies ``priority`` as the default), so the common uniform-
+        priority burst is scheduled without rebuilding the batch as an
+        intermediate list of triples.
         """
         now = self.clock.now
-        prepared = []
+        if not isinstance(items, (list, tuple)):
+            items = list(items)
         for item in items:
-            time, callback = item[0], item[1]
-            if time < now:
+            if item[0] < now:
                 raise SimulationError(
-                    f"cannot schedule event in the past: now={now}, at={time}"
+                    f"cannot schedule event in the past: now={now}, at={item[0]}"
                 )
-            prepared.append(
-                (time, callback, item[2] if len(item) > 2 else priority)
-            )
-        return self.queue.push_many(prepared)
+        return self.queue.push_many(items, default_priority=priority)
 
     def after(self, delay: float, callback: EventCallback, priority: int = 0) -> Event:
         """Schedule ``callback`` ``delay`` seconds from now (``delay`` >= 0)."""
@@ -148,25 +149,41 @@ class Engine:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
         fired = 0
+        queue = self.queue
+        heap = queue._heap
+        batch: List[Event] = []
         try:
             while True:
-                if max_events is not None and fired >= max_events:
+                limit = (
+                    max_events - fired if max_events is not None else 1 << 30
+                )
+                if limit <= 0:
                     break
-                next_time = self.queue.peek_time()
-                if next_time is None:
+                # Coalesced-tick fast path: one heap access pops the whole
+                # same-(time, priority) batch — e.g. every periodic tick
+                # scheduled for this instant — instead of the historical
+                # peek_time() + pop() pair per event.
+                count = queue.pop_batch_due(until, batch, limit)
+                if count == 0:
                     if until is not None:
                         self.clock.advance_to(until)
                     break
-                if until is not None and next_time > until:
-                    self.clock.advance_to(until)
-                    break
-                event = self.queue.pop()
-                if event is None:  # pragma: no cover - raced cancellation
-                    continue
-                self.clock.advance_to(event.time)
-                event.callback(event.time)
-                fired += 1
-                self._events_fired += 1
+                self.clock.advance_to(batch[0].time)
+                for index, event in enumerate(batch):
+                    if event.cancelled:
+                        continue
+                    # A callback may have scheduled an event that sorts
+                    # before the rest of the batch (same time, lower
+                    # priority). Push the unfired tail back so firing
+                    # order stays exactly the single-pop order.
+                    if heap and heap[0] < event:
+                        for later in batch[index:]:
+                            if not later.cancelled:
+                                queue.reinsert(later)
+                        break
+                    event.callback(event.time)
+                    fired += 1
+                    self._events_fired += 1
         finally:
             self._running = False
         return fired

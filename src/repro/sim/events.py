@@ -10,7 +10,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from repro.errors import SimulationError
 
@@ -87,9 +87,11 @@ class EventQueue:
         return event
 
     def push_many(
-        self, items: Iterable[Tuple[float, EventCallback, int]]
+        self,
+        items: Iterable[Sequence],
+        default_priority: int = 0,
     ) -> List[Event]:
-        """Schedule a batch of ``(time, callback, priority)`` triples.
+        """Schedule a batch of ``(time, callback[, priority])`` tuples.
 
         Amortizes the per-event ``heappush`` cost for arrival bursts:
         the batch is appended and the heap restored with one O(n)
@@ -97,18 +99,24 @@ class EventQueue:
         unaffected — events are totally ordered by
         ``(time, priority, seq)`` and sequence numbers are assigned in
         batch order, exactly as repeated :meth:`push` calls would.
+
+        Two-element tuples take ``default_priority``, so callers with a
+        uniform priority (the common arrival-burst case) can pass their
+        ``(time, callback)`` pairs straight through without building an
+        intermediate list of triples.
         """
         events: List[Event] = []
-        for time, callback, priority in items:
+        for item in items:
+            time = item[0]
             if not (time >= 0.0):
                 raise SimulationError(
                     f"event time must be finite and >= 0, got {time!r}"
                 )
             event = Event(
                 time=float(time),
-                priority=priority,
+                priority=item[2] if len(item) > 2 else default_priority,
                 seq=next(self._counter),
-                callback=callback,
+                callback=item[1],
             )
             event._queue = self
             events.append(event)
@@ -130,6 +138,55 @@ class EventQueue:
                 self._live -= 1
                 return event
         return None
+
+    def pop_batch_due(
+        self, until: Optional[float], out: List[Event], limit: int
+    ) -> int:
+        """Pop up to ``limit`` live events sharing the earliest
+        ``(time, priority)`` coordinate into ``out``; returns the count.
+
+        This is the engine's coalesced-tick fast path: one call replaces
+        the historical ``peek_time()`` + ``pop()`` double heap access and
+        additionally drains every same-time, same-priority event (a whole
+        periodic tick) in one go. Events past ``until`` are left in the
+        heap (a horizon stop returns 0 with the queue intact); cancelled
+        heads are discarded on the way.
+        """
+        out.clear()
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        if not heap or (until is not None and heap[0].time > until):
+            return 0
+        first = heapq.heappop(heap)
+        first._queue = None
+        self._live -= 1
+        out.append(first)
+        while len(out) < limit and heap:
+            head = heap[0]
+            if head.cancelled:
+                heapq.heappop(heap)
+                continue
+            if head.time != first.time or head.priority != first.priority:
+                break
+            heapq.heappop(heap)
+            head._queue = None
+            self._live -= 1
+            out.append(head)
+        return len(out)
+
+    def reinsert(self, event: Event) -> None:
+        """Return a popped-but-unfired event to the heap.
+
+        The engine uses this when a batch callback schedules an event
+        that must fire *before* the remainder of its batch: the unfired
+        tail goes back into the heap with its original ``(time,
+        priority, seq)`` coordinates, so overall firing order is exactly
+        what single-event pops would have produced.
+        """
+        event._queue = self
+        heapq.heappush(self._heap, event)
+        self._live += 1
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the earliest live event without popping."""

@@ -1,0 +1,488 @@
+"""Batched structure-of-arrays (SoA) simulation kernel.
+
+The per-event python path (:mod:`repro.sim.engine` callbacks, per-job
+dict loops in :func:`repro.bejobs.job.compute_be_rates`, per-request
+closures in :mod:`repro.workloads.queueing`) tops out around a thousand
+events per second on one core. This module re-expresses the same-tick
+work as contiguous numpy arrays keyed by (machine, Servpod) coordinates
+and drains whole ticks with vectorized operations:
+
+- :class:`BeRateKernel` mirrors each machine's BE allocation state into
+  flat per-job arrays (CPU grants, LLC ratios, bandwidth demands),
+  revalidated with one integer compare against ``Machine.version``, and
+  evaluates every job's Leontief rate in a handful of array ops.
+- :class:`BatchedServiceSampler` builds the per-Servpod lognormal
+  parameter blocks once per tick and replays the call-tree walk against
+  them, consuming the latency RNG stream in exactly the scalar order.
+- :func:`drain_fifo_queue` replays the G/G/c FIFO event loop as a
+  Lindley start-time recurrence over plain floats plus vectorized
+  sojourn/wait extraction — no engine, no per-request closures.
+- :class:`BatchedColocationKernel` composes the pieces into a drop-in
+  replacement for the scalar ``ColocationExperiment._tick``.
+
+Identity pinning
+----------------
+The scalar path remains the reference implementation. Every batched
+computation here is pinned **bit-identical** to it: same outputs, same
+final RNG states, with and without fault injection. The pattern (see
+DESIGN.md) is:
+
+1. mutate the world through the *same* scalar code (machines, pools,
+   subcontrollers, fault injector are shared, not re-implemented);
+2. cache only values the scalar path recomputes deterministically
+   (sensitivity vectors, usage coefficient sums, per-job demands),
+   invalidated by ``Machine.version``;
+3. where floats are folded, preserve the scalar fold order exactly
+   (python-float accumulation, ``cumsum``-style left-to-right chains);
+4. draw randomness through the same generators with the same call
+   shapes, so the bit streams are consumed identically.
+
+Kernel selection is *not* part of :class:`ColocationConfig` — both
+kernels produce identical results, so cache keys deliberately do not
+distinguish them (a regression test proves the identity that justifies
+the sharing).
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bejobs.job import (
+    LLC_SPILL_TO_MEMBW,
+    BeJobState,
+    BeResourceSnapshot,
+    LcUsage,
+)
+from repro.cluster.machine import BE_DOMAIN, LC_DOMAIN, Machine
+from repro.errors import ConfigurationError
+from repro.interference.model import Pressure
+from repro.workloads.latency import LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.colocation import ColocationExperiment
+    from repro.workloads.service import Service
+    from repro.workloads.spec import CallNode
+
+#: Environment variable selecting the simulation kernel.
+KERNEL_ENV_VAR = "RHYTHM_KERNEL"
+
+#: Valid kernel names.
+KERNELS = ("scalar", "batched")
+
+
+def resolve_kernel(explicit: Optional[str] = None) -> str:
+    """Resolve the kernel choice: explicit arg > ``RHYTHM_KERNEL`` > scalar."""
+    value = explicit if explicit is not None else os.environ.get(KERNEL_ENV_VAR)
+    if value is None or value == "":
+        return "scalar"
+    value = str(value).strip().lower()
+    if value not in KERNELS:
+        raise ConfigurationError(
+            f"unknown simulation kernel {value!r}; expected one of {KERNELS}"
+        )
+    return value
+
+
+# ---------------------------------------------------------------------------
+# BE progress rates: SoA mirror of one machine's allocation state
+# ---------------------------------------------------------------------------
+
+
+class _MachineMirror:
+    """Flat per-job arrays for one machine's *running* BE jobs.
+
+    Rebuilt whenever ``Machine.version`` moves (launch/kill/grow/shrink/
+    suspend/resume); between bumps every cached value is exactly what
+    the scalar :func:`~repro.bejobs.job.compute_be_rates` would
+    recompute from the same allocations.
+    """
+
+    __slots__ = (
+        "version",
+        "job_ids",
+        "cpu_base",
+        "req_cpu",
+        "llc_ratio",
+        "membw",
+        "membw_div",
+        "membw_mask",
+        "net",
+        "net_div",
+        "net_mask",
+        "total_membw_demand",
+        "total_net_demand",
+        "busy_cores",
+        "llc_demand_total",
+        "llc_occupied_total",
+    )
+
+    def __init__(self, machine: Machine, jobs: Sequence) -> None:
+        self.version = machine.version
+        total_cores = machine.spec.cores
+        running = [
+            job
+            for job in jobs
+            if job.state == BeJobState.RUNNING
+            and machine.be_allocation(job.job_id) is not None
+            and not machine.be_allocation(job.job_id).suspended
+        ]
+        n = len(running)
+        self.job_ids: List[str] = [job.job_id for job in running]
+        cpu_base = np.empty(n)
+        req_cpu = np.empty(n)
+        llc_ratio = np.empty(n)
+        membw = np.empty(n)
+        membw_div = np.empty(n)
+        membw_mask = np.empty(n, dtype=bool)
+        net = np.empty(n)
+        net_div = np.empty(n)
+        net_mask = np.empty(n, dtype=bool)
+        # Scalar-order python folds: compute_be_rates accumulates these
+        # with ``+=`` over the running list, so the cached totals carry
+        # the exact same rounding.
+        total_membw_demand = 0.0
+        total_net_demand = 0.0
+        busy_cores = 0.0
+        llc_demand_total = 0.0
+        llc_occupied_total = 0.0
+        for i, job in enumerate(running):
+            spec = job.spec
+            alloc = machine.be_allocation(job.job_id)
+            cores = alloc.cores
+            llc_granted = alloc.llc_ways / machine.llc.n_ways
+            llc_demand = spec.demand_fraction("llc", cores, total_cores)
+            membw_demand = spec.demand_fraction("membw", cores, total_cores)
+            membw_demand += LLC_SPILL_TO_MEMBW * max(0.0, llc_demand - llc_granted)
+            membw_i = min(1.0, membw_demand)
+            net_i = spec.demand_fraction("net", cores, total_cores)
+            cpu_base[i] = cores / total_cores
+            req_cpu[i] = min(1.0, spec.saturation_cores / total_cores)
+            llc_usage = spec.usage("llc")
+            llc_ratio[i] = llc_granted / llc_usage if llc_usage > 0 else np.inf
+            membw[i] = membw_i
+            membw_usage = spec.usage("membw")
+            membw_mask[i] = membw_usage > 0
+            membw_div[i] = membw_usage if membw_usage > 0 else 1.0
+            net[i] = net_i
+            net_usage = spec.usage("net")
+            net_mask[i] = net_usage > 0
+            net_div[i] = net_usage if net_usage > 0 else 1.0
+            total_membw_demand += membw_i
+            total_net_demand += net_i
+            busy_cores += cores
+            llc_demand_total += llc_demand
+            llc_occupied_total += llc_granted
+        self.cpu_base = cpu_base
+        self.req_cpu = req_cpu
+        self.llc_ratio = llc_ratio
+        self.membw = membw
+        self.membw_div = membw_div
+        self.membw_mask = membw_mask
+        self.net = net
+        self.net_div = net_div
+        self.net_mask = net_mask
+        self.total_membw_demand = total_membw_demand
+        self.total_net_demand = total_net_demand
+        self.busy_cores = busy_cores
+        self.llc_demand_total = llc_demand_total
+        self.llc_occupied_total = llc_occupied_total
+
+
+class BeRateKernel:
+    """Vectorized, mirror-cached replacement for ``compute_be_rates``."""
+
+    def __init__(self) -> None:
+        self._mirrors: Dict[str, _MachineMirror] = {}
+
+    def be_rates(
+        self, machine: Machine, jobs: Sequence, lc_usage: LcUsage
+    ) -> BeResourceSnapshot:
+        """Bit-identical to ``compute_be_rates(machine, jobs, lc_usage)``."""
+        mirror = self._mirrors.get(machine.spec.name)
+        if mirror is None or mirror.version != machine.version:
+            mirror = _MachineMirror(machine, jobs)
+            self._mirrors[machine.spec.name] = mirror
+        if not mirror.job_ids:
+            # The scalar path returns before touching the NIC when no
+            # jobs run — preserve that exactly (NIC state is observable).
+            return BeResourceSnapshot()
+
+        freq_ratio = machine.dvfs.ratio(BE_DOMAIN)
+        membw_headroom = max(0.0, 1.0 - lc_usage.membw_fraction)
+        membw_scale = (
+            min(1.0, membw_headroom / mirror.total_membw_demand)
+            if mirror.total_membw_demand > 0
+            else 1.0
+        )
+        machine.nic.observe_lc_traffic(lc_usage.net_gbps)
+        be_cap_fraction = machine.nic.be_cap_gbps / machine.spec.link_gbps
+        net_scale = (
+            min(1.0, be_cap_fraction / mirror.total_net_demand)
+            if mirror.total_net_demand > 0
+            else 1.0
+        )
+
+        # Leontief rates across all jobs at once. min() over the scalar
+        # ratio list is order-insensitive for non-NaN floats, so chained
+        # np.minimum reproduces it exactly; resources a job does not use
+        # contribute +inf, exactly like the scalar path's absent ratios.
+        ratios = (mirror.cpu_base * freq_ratio) / mirror.req_cpu
+        ratios = np.minimum(ratios, mirror.llc_ratio)
+        granted_membw = mirror.membw * membw_scale
+        ratios = np.minimum(
+            ratios,
+            np.where(mirror.membw_mask, granted_membw / mirror.membw_div, np.inf),
+        )
+        granted_net = mirror.net * net_scale
+        ratios = np.minimum(
+            ratios,
+            np.where(mirror.net_mask, granted_net / mirror.net_div, np.inf),
+        )
+        rate_arr = np.maximum(0.0, np.minimum(1.0, ratios))
+
+        rates = {
+            job_id: float(rate)
+            for job_id, rate in zip(mirror.job_ids, rate_arr)
+        }
+        # Scalar-order folds of the granted shares (n <= max BE
+        # instances, so plain python folds are cheap and bit-exact).
+        membw_used = 0.0
+        for g in granted_membw.tolist():
+            membw_used += g
+        net_used = 0.0
+        for g in granted_net.tolist():
+            net_used += g
+        return BeResourceSnapshot(
+            busy_cores=mirror.busy_cores,
+            membw_fraction=min(1.0, membw_used),
+            llc_demand_fraction=min(1.0, mirror.llc_demand_total),
+            llc_occupied_fraction=min(1.0, mirror.llc_occupied_total),
+            net_fraction=min(1.0, net_used),
+            rates=rates,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Latency sampling: pod-indexed parameter arrays, one build per tick
+# ---------------------------------------------------------------------------
+
+
+class BatchedServiceSampler:
+    """Call-tree sampler over per-tick pod-indexed parameter arrays.
+
+    ``Service.sample_e2e`` rebuilds each visited node's lognormal
+    parameter block (log-medians, sigmas) on every visit; this sampler
+    builds one ``(components, 1)`` block per Servpod per tick — via the
+    same :meth:`LatencyModel.component_params` — and replays the exact
+    walk. Draw shapes, draw order and combination operators
+    (``np.maximum.reduce`` / ``np.add.reduce``) match the scalar walk
+    call for call, so the RNG bit stream is consumed identically.
+    """
+
+    def __init__(self, service: "Service") -> None:
+        self._service = service
+        self._stream_name = f"service:{service.spec.name}:latency"
+        self._pods = {pod.name: pod for pod in service.spec.servpods}
+
+    def sample_e2e(
+        self,
+        load: float,
+        n: int,
+        slowdowns: Dict[str, float],
+        inflations: Dict[str, float],
+    ) -> np.ndarray:
+        """Bit-identical to ``Service.sample_e2e`` under the same state."""
+        service = self._service
+        rng = service.streams.stream(self._stream_name)
+        params = {
+            name: LatencyModel.component_params(
+                pod,
+                load,
+                slowdowns.get(name, 1.0),
+                inflations.get(name, 1.0),
+            )
+            for name, pod in self._pods.items()
+        }
+        counts = service._type_counts(n, rng)
+        e2e = np.empty(n)
+        offset = 0
+        for rtype, count in counts:
+            if count == 0:
+                continue
+            e2e[offset : offset + count] = self._walk(
+                rtype.root, count, params, rng
+            )
+            offset += count
+        return e2e
+
+    def _walk(
+        self,
+        node: "CallNode",
+        n: int,
+        params: Dict[str, Tuple[np.ndarray, np.ndarray]],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        means, sigmas = params[node.servpod]
+        draws = rng.lognormal(
+            mean=means, sigma=sigmas, size=(means.shape[0], n)
+        )
+        total = draws[0]
+        for row in draws[1:]:
+            total = total + row
+        if not node.children:
+            return total
+        child_times = [
+            self._walk(child, n, params, rng) for child in node.children
+        ]
+        if node.parallel:
+            downstream = np.maximum.reduce(child_times)
+        else:
+            downstream = np.add.reduce(child_times)
+        return total + downstream
+
+
+# ---------------------------------------------------------------------------
+# Queueing: engine-free FIFO drain
+# ---------------------------------------------------------------------------
+
+
+def drain_fifo_queue(
+    arrival_times: Sequence[float],
+    service_times: Sequence[float],
+    workers: int,
+    warmup_s: float,
+    horizon_s: float,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Replay a G/G/c FIFO queue without the event engine.
+
+    Returns ``(sojourns_ms, waits_ms, events_fired)`` bit-identical to
+    the engine-driven loop in ``QueueingComponent.simulate``:
+
+    - Start times follow the Lindley recurrence ``start_i = max(t_i,
+      min_free)`` over a heap of plain worker-free times. FIFO
+      discipline means services begin in arrival order, and the engine's
+      ``clock.now + service_s`` additions are reproduced as the same
+      python-float sums, so every start/finish time matches bit for bit.
+    - Completion records are emitted in finish order (arrival index
+      breaking ties — the engine's event-sequence order), so downstream
+      ``np.mean``/``np.percentile`` pairwise folds see the same operand
+      order.
+    - ``events_fired`` counts every arrival plus each finish at or
+      before the drain horizon: exactly the events the engine fires.
+    """
+    n = len(arrival_times)
+    if n == 0:
+        return np.empty(0), np.empty(0), 0
+    free = [0.0] * workers
+    starts: List[float] = [0.0] * n
+    for i, t in enumerate(arrival_times):
+        m = free[0]
+        start = t if t >= m else m
+        starts[i] = start
+        heapq.heapreplace(free, start + service_times[i])
+    t_arr = np.asarray(arrival_times)
+    s_arr = np.asarray(service_times)
+    finish = np.asarray(starts) + s_arr
+    order = np.argsort(finish, kind="stable")
+    fo = finish[order]
+    to = t_arr[order]
+    so = s_arr[order]
+    fired = fo <= horizon_s
+    events = n + int(np.count_nonzero(fired))
+    keep = fired & (to >= warmup_s)
+    sojourns = ((fo - to) * 1000.0)[keep]
+    waits = (((fo - to) - so) * 1000.0)[keep]
+    return sojourns, waits, events
+
+
+# ---------------------------------------------------------------------------
+# The batched colocation tick
+# ---------------------------------------------------------------------------
+
+
+class BatchedColocationKernel:
+    """Drop-in batched implementation of ``ColocationExperiment._tick``.
+
+    The experiment's world objects (machines, pools, subcontrollers,
+    fault injector, metrics) stay authoritative and are mutated through
+    the experiment's own shared phase helpers; the kernel only swaps the
+    two hot computations — BE rate evaluation and latency sampling — for
+    their SoA counterparts, plus caches each Servpod's (deterministic)
+    effective sensitivity vector.
+    """
+
+    def __init__(self, experiment: "ColocationExperiment") -> None:
+        self._exp = experiment
+        self._pods = list(experiment._runs)
+        self._servpods = {
+            pod: experiment.deployment.servpod(pod) for pod in self._pods
+        }
+        self._machines = {
+            pod: self._servpods[pod].machine for pod in self._pods
+        }
+        self._sensitivities = {
+            pod: self._servpods[pod].effective_sensitivity()
+            for pod in self._pods
+        }
+        self._be = BeRateKernel()
+        self._sampler = BatchedServiceSampler(experiment.service)
+
+    def tick(self, t: float, dt: float) -> None:
+        """One control period, bit-identical to the scalar ``_tick``."""
+        exp = self._exp
+        model = exp.config.interference
+        injector = exp._fault_injector
+        window = exp._begin_tick(t, dt)
+        load = window.load
+        realized = window.realized_load
+
+        # Phase 1: physics across all pods — vectorized BE rates per
+        # machine, shared scalar pressure/slowdown math on top.
+        slowdowns: Dict[str, float] = {}
+        inflations: Dict[str, float] = {}
+        snapshots: Dict[str, BeResourceSnapshot] = {}
+        usages: Dict[str, LcUsage] = {}
+        for pod in self._pods:
+            machine = self._machines[pod]
+            run = exp._runs[pod]
+            usage = usages[pod] = exp.service.lc_usage(pod, realized)
+            exp._network.apply(machine, usage.net_gbps)
+            snapshot = self._be.be_rates(machine, run.pool.jobs(), usage)
+            snapshots[pod] = snapshot
+            pressure = Pressure.from_be_snapshot(
+                snapshot,
+                machine.spec.cores,
+                exp.config.isolation,
+                lc_freq_ratio=machine.dvfs.ratio(LC_DOMAIN),
+            )
+            if injector is not None:
+                pressure = injector.adjust_pressure(machine, pressure)
+            slowdown = model.slowdown(
+                self._sensitivities[pod], pressure, realized
+            )
+            if injector is not None:
+                slowdown *= injector.stall_factor(machine.spec.name)
+            slowdowns[pod] = slowdown
+            inflations[pod] = model.sigma_inflation(slowdown)
+
+        # Phase 2: batched latency sampling over per-tick pod arrays.
+        if window.n_samples > 0:
+            latencies = self._sampler.sample_e2e(
+                realized, window.n_samples, slowdowns, inflations
+            )
+            tail_ms = exp._window_tail(latencies)
+            window_closed = True
+        else:
+            tail_ms = 0.0
+            window_closed = False
+
+        # Phases 3-4: shared scalar helpers (cheap; world mutation must
+        # go through the same code as the reference path).
+        exp._advance_be(dt, snapshots)
+        exp._control_phase(
+            t, dt, load, tail_ms, window_closed, snapshots, usages
+        )

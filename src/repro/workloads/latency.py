@@ -75,6 +75,32 @@ class LatencyModel:
         )
 
     @classmethod
+    def component_params(
+        cls,
+        pod: ServpodSpec,
+        load: float,
+        slowdown: float = 1.0,
+        sigma_inflation: float = 1.0,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-component lognormal ``(log-median, sigma)`` column vectors.
+
+        The shared parameter builder behind :meth:`sample_servpod_ms` and
+        the batched kernel's sampler: both draw from the same
+        ``(components, 1)`` parameter blocks, so caching these per
+        (pod, slowdown, inflation) tick-state cannot change a single
+        draw. ``math.log`` (not ``np.log``) keeps the per-component
+        means bit-equal to the historical scalar path.
+        """
+        comps = pod.components
+        means = np.array(
+            [math.log(cls.component_median_ms(c, load, slowdown)) for c in comps]
+        )
+        sigmas = np.array(
+            [cls.component_sigma(c, load, sigma_inflation) for c in comps]
+        )
+        return means[:, None], sigmas[:, None]
+
+    @classmethod
     def sample_servpod_ms(
         cls,
         pod: ServpodSpec,
@@ -96,17 +122,9 @@ class LatencyModel:
         """
         if n < 0:
             raise ConfigurationError(f"cannot sample {n} sojourns")
-        comps = pod.components
-        # math.log (not np.log) keeps the per-component means bit-equal
-        # to the historical scalar path.
-        means = np.array(
-            [math.log(cls.component_median_ms(c, load, slowdown)) for c in comps]
-        )
-        sigmas = np.array(
-            [cls.component_sigma(c, load, sigma_inflation) for c in comps]
-        )
+        means, sigmas = cls.component_params(pod, load, slowdown, sigma_inflation)
         draws = rng.lognormal(
-            mean=means[:, None], sigma=sigmas[:, None], size=(len(comps), n)
+            mean=means, sigma=sigmas, size=(len(pod.components), n)
         )
         # Sequential row sum preserves the scalar path's addition order.
         total = draws[0]

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.sim.engine import Engine
+from repro.sim.kernel import drain_fifo_queue, resolve_kernel
 from repro.sim.rng import RandomStreams
 
 
@@ -38,6 +39,9 @@ class QueueingStats:
     p99_sojourn_ms: float
     cov: float
     mean_wait_ms: float
+    #: Simulation events the run executed (arrivals + in-horizon
+    #: finishes) — the throughput denominator for kernel benchmarks.
+    events: int = 0
 
     @property
     def mean_service_ms(self) -> float:
@@ -90,17 +94,21 @@ class QueueingComponent:
         duration_s: float,
         streams: Optional[RandomStreams] = None,
         warmup_s: float = 2.0,
+        kernel: Optional[str] = None,
     ) -> QueueingStats:
         """Simulate ``duration_s`` seconds of Poisson arrivals.
 
         Requests arriving during the warm-up period are served but not
         counted, so the statistics reflect (near-)steady state.
 
-        Arrival times and service times are drawn in vectorized batches
-        and batch-scheduled through :meth:`Engine.at_many`; both streams
-        are consumed in exactly the order the historical one-draw-per-
-        event loop consumed them, so results are bit-identical (pinned
-        by a scalar reference implementation in the tests).
+        Arrival times and service times are drawn in vectorized batches;
+        both streams are consumed in exactly the order the historical
+        one-draw-per-event loop consumed them, so results are
+        bit-identical (pinned by a scalar reference implementation in
+        the tests). Under the batched kernel (``kernel="batched"`` or
+        ``RHYTHM_KERNEL=batched``) the event engine is bypassed entirely
+        — :func:`repro.sim.kernel.drain_fifo_queue` replays the FIFO
+        loop as a start-time recurrence, bit-identical again.
         """
         if arrival_qps <= 0 or duration_s <= 0:
             raise ConfigurationError(
@@ -109,7 +117,6 @@ class QueueingComponent:
         streams = streams or RandomStreams(0)
         arrival_rng = streams.stream("queue:arrivals")
         service_rng = streams.stream("queue:service")
-        engine = Engine()
 
         arrival_times = self._draw_arrival_times(
             arrival_rng, arrival_qps, duration_s
@@ -125,6 +132,19 @@ class QueueingComponent:
             else []
         )
 
+        if resolve_kernel(kernel) == "batched":
+            sojourn_arr, wait_arr, events = drain_fifo_queue(
+                arrival_times,
+                service_times,
+                self.workers,
+                warmup_s,
+                duration_s + 60.0,
+            )
+            return self._stats(
+                arrival_qps, sojourn_arr, wait_arr, events
+            )
+
+        engine = Engine()
         busy = [0]                    # busy workers
         waiting: deque = deque()      # (arrival time, service time)
         sojourns: List[float] = []
@@ -153,22 +173,36 @@ class QueueingComponent:
             else:
                 waiting.append((t, service_s))
 
-        engine.at_many((t, arrive) for t in arrival_times)
-        engine.run(until=duration_s + 60.0)  # drain in-flight requests
+        engine.at_many([(t, arrive) for t in arrival_times])
+        fired = engine.run(until=duration_s + 60.0)  # drain in-flight requests
+        return self._stats(arrival_qps, np.asarray(sojourns), waits, fired)
 
-        if not sojourns:
+    def _stats(
+        self,
+        arrival_qps: float,
+        sojourns: np.ndarray,
+        waits,
+        events: int,
+    ) -> QueueingStats:
+        """Summarise completion records (shared by both kernels).
+
+        ``sojourns``/``waits`` arrive in finish order from both paths,
+        so the numpy reductions fold the same operands in the same
+        order and the statistics are bit-identical across kernels.
+        """
+        if sojourns.size == 0:
             raise ConfigurationError(
                 "no requests completed after warm-up; extend the duration"
             )
-        arr = np.asarray(sojourns)
-        mean = float(arr.mean())
+        mean = float(sojourns.mean())
         return QueueingStats(
             offered_load=arrival_qps / self.capacity_qps,
             completed=len(sojourns),
             mean_sojourn_ms=mean,
-            p99_sojourn_ms=float(np.percentile(arr, 99.0)),
-            cov=float(arr.std(ddof=1) / mean) if len(arr) > 1 else 0.0,
+            p99_sojourn_ms=float(np.percentile(sojourns, 99.0)),
+            cov=float(sojourns.std(ddof=1) / mean) if len(sojourns) > 1 else 0.0,
             mean_wait_ms=float(np.mean(waits)),
+            events=events,
         )
 
     def _draw_arrival_times(

@@ -61,6 +61,21 @@ class Service:
         self.spec = spec
         self.streams = streams or RandomStreams(0)
         self._request_counter = 0
+        # Per-pod lookups and usage coefficients are load-independent;
+        # caching them removes the linear spec scans and component sums
+        # from the per-tick hot path without changing a single value.
+        self._pods: Dict[str, object] = {
+            pod.name: pod for pod in spec.servpods
+        }
+        self._usage_coeffs = {
+            pod.name: (
+                sum(c.cores * c.peak_core_util for c in pod.components),
+                sum(c.peak_membw_fraction for c in pod.components),
+                sum(c.peak_net_gbps for c in pod.components),
+                sum(c.llc_fraction for c in pod.components),
+            )
+            for pod in spec.servpods
+        }
 
     # -- latency sampling -----------------------------------------------
 
@@ -147,7 +162,7 @@ class Service:
         passing ``None`` (the ``sample_e2e`` fast path) skips that
         bookkeeping without touching the RNG stream.
         """
-        pod = self.spec.servpod(node.servpod)
+        pod = self._pods[node.servpod]
         draws = LatencyModel.sample_servpod_ms(
             pod,
             load,
@@ -223,13 +238,18 @@ class Service:
         """The Servpod's machine-resource usage at ``load`` (solo run)."""
         if not (0.0 <= load <= 1.02):
             raise ConfigurationError(f"load must be in [0, 1.02], got {load!r}")
-        pod = self.spec.servpod(servpod_name)
-        busy = sum(c.cores * c.peak_core_util for c in pod.components) * load
-        membw = min(1.0, sum(c.peak_membw_fraction for c in pod.components) * load)
-        net = sum(c.peak_net_gbps for c in pod.components) * load
+        coeffs = self._usage_coeffs.get(servpod_name)
+        if coeffs is None:
+            raise ConfigurationError(
+                f"service {self.spec.name!r} has no Servpod {servpod_name!r}"
+            )
+        busy_coeff, membw_coeff, net_coeff, llc_coeff = coeffs
+        busy = busy_coeff * load
+        membw = min(1.0, membw_coeff * load)
+        net = net_coeff * load
         # Cache footprint saturates quickly: even light load keeps the
         # working set warm.
-        llc = min(1.0, sum(c.llc_fraction for c in pod.components) * (0.3 + 0.7 * load))
+        llc = min(1.0, llc_coeff * (0.3 + 0.7 * load))
         return LcUsage(
             busy_cores=busy, membw_fraction=membw, net_gbps=net, llc_fraction=llc
         )

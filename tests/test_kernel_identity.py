@@ -1,0 +1,176 @@
+"""Differential tests pinning the batched kernel to the scalar reference.
+
+The batched structure-of-arrays kernel (:mod:`repro.sim.kernel`) is only
+allowed to exist because it is *bit-identical* to the scalar object
+world: same ``ColocationResult`` fingerprints down to individual tick
+samples, same final state of every RNG stream, in the parent process and
+in fork- and spawn-started children, with and without fault injection.
+These tests are that contract. They also pin the cache-key consequences:
+because the kernels are provably identical, grid-cell cache keys are
+deliberately shared across kernels (``kernel`` is runtime dispatch, not
+a result coordinate), and the code-version salt was bumped so entries
+written before the identity pin can never be served.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.baselines.heracles import HeraclesPolicy
+from repro.bejobs.catalog import evaluation_be_jobs
+from repro.cache.keys import CODE_VERSION_SALT
+from repro.errors import ConfigurationError, ExperimentError
+from repro.experiments.colocation import ColocationConfig
+from repro.experiments.runner import kernel_identity_probe
+from repro.parallel import artifact_for
+from repro.parallel.grid import GridCell, _CellTask, cell_cache_key
+from repro.sim.kernel import KERNEL_ENV_VAR, KERNELS, resolve_kernel
+from repro.sim.rng import RandomStreams
+from repro.workloads.queueing import QueueingComponent
+
+from conftest import make_tiny_service
+
+
+class TestResolveKernel:
+    def test_default_is_scalar(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        assert resolve_kernel() == "scalar"
+        assert resolve_kernel(None) == "scalar"
+        assert resolve_kernel("") == "scalar"
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "batched")
+        assert resolve_kernel("scalar") == "scalar"
+
+    def test_env_var_honoured(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "batched")
+        assert resolve_kernel() == "batched"
+
+    def test_normalisation(self):
+        assert resolve_kernel("  Batched ") == "batched"
+
+    @pytest.mark.parametrize("bad", ["vectorised", "fast", "BATCHEDX"])
+    def test_unknown_kernel_rejected(self, bad, monkeypatch):
+        with pytest.raises(ConfigurationError):
+            resolve_kernel(bad)
+        monkeypatch.setenv(KERNEL_ENV_VAR, bad)
+        with pytest.raises(ConfigurationError):
+            resolve_kernel()
+
+    def test_registry(self):
+        assert KERNELS == ("scalar", "batched")
+
+
+class TestColocationIdentity:
+    """Scalar and batched runs must agree bit for bit, RNG state and all."""
+
+    @pytest.mark.parametrize("pattern", ["constant", "step", "sweep"])
+    def test_bit_identical_across_patterns(self, pattern):
+        scalar = kernel_identity_probe("scalar", seed=3, pattern_name=pattern)
+        batched = kernel_identity_probe("batched", seed=3, pattern_name=pattern)
+        assert scalar[0] == batched[0], "result fingerprints diverged"
+        assert scalar[1] == batched[1], "final RNG stream states diverged"
+
+    def test_bit_identical_under_faults(self):
+        scalar = kernel_identity_probe(
+            "scalar", seed=9, pattern_name="diurnal", with_faults=True
+        )
+        batched = kernel_identity_probe(
+            "batched", seed=9, pattern_name="diurnal", with_faults=True
+        )
+        assert scalar == batched
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ExperimentError):
+            kernel_identity_probe("scalar", pattern_name="tidal")
+
+    def test_fork_subprocess_identity(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no fork start method")
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(1) as pool:
+            child = pool.apply(
+                kernel_identity_probe,
+                ("batched",),
+                {"seed": 5, "pattern_name": "step"},
+            )
+        parent = kernel_identity_probe("scalar", seed=5, pattern_name="step")
+        assert parent == child
+
+    @pytest.mark.slow
+    def test_spawn_subprocess_identity(self):
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(1) as pool:
+            child = pool.apply(
+                kernel_identity_probe,
+                ("batched",),
+                {"seed": 5, "pattern_name": "constant", "with_faults": True},
+            )
+        parent = kernel_identity_probe(
+            "scalar", seed=5, pattern_name="constant", with_faults=True
+        )
+        assert parent == child
+
+
+class TestQueueingIdentity:
+    def _run(self, kernel):
+        component = QueueingComponent(2.0, 0.3, workers=8)
+        streams = RandomStreams(11)
+        stats = component.simulate(
+            0.7 * component.capacity_qps, 20.0, streams, kernel=kernel
+        )
+        states = tuple(
+            (name, repr(streams._streams[name].bit_generator.state))
+            for name in sorted(streams._streams)
+        )
+        return stats, states
+
+    def test_stats_and_rng_bit_identical(self):
+        scalar_stats, scalar_states = self._run("scalar")
+        batched_stats, batched_states = self._run("batched")
+        assert scalar_stats == batched_stats
+        assert scalar_states == batched_states
+        assert batched_stats.events > 0
+
+
+@pytest.fixture(scope="module")
+def tiny_artifact():
+    service = make_tiny_service()
+    return service, artifact_for(service, seed=0, probe_slacklimits=False)
+
+
+class TestCacheKeySharing:
+    """Kernels share grid-cell cache keys — valid only because the
+    identity tests above prove the outputs are interchangeable."""
+
+    def _task(self, service, artifact):
+        return _CellTask(
+            cell=GridCell(service, evaluation_be_jobs()[0], 0.45, seed=7),
+            artifact=artifact,
+            heracles_policy=HeraclesPolicy(),
+            config=ColocationConfig(duration_s=20.0),
+        )
+
+    def test_kernel_is_not_a_config_coordinate(self):
+        # Runtime dispatch must never leak into the hashed config, or
+        # scalar- and batched-produced cells would stop sharing entries.
+        assert "kernel" not in ColocationConfig.__dataclass_fields__
+
+    def test_cell_key_invariant_across_kernels(
+        self, tiny_artifact, monkeypatch
+    ):
+        service, artifact = tiny_artifact
+        keys = {}
+        for kernel in KERNELS:
+            monkeypatch.setenv(KERNEL_ENV_VAR, kernel)
+            keys[kernel] = cell_cache_key(self._task(service, artifact))
+        assert keys["scalar"] == keys["batched"]
+
+    def test_salt_bumped_past_pre_identity_entries(self):
+        # Entries written before the identity pin (salt :3 and earlier)
+        # predate result-affecting engine/vectorisation changes and must
+        # never be served to either kernel.
+        tag = CODE_VERSION_SALT.rsplit(":", 1)[-1]
+        assert tag.isdigit() and int(tag) >= 4

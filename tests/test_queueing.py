@@ -135,7 +135,7 @@ class TestScalarReferenceIdentity:
                 engine.at(t + gap, arrive)
 
         engine.at(float(arrival_rng.exponential(1.0 / arrival_qps)), arrive)
-        engine.run(until=duration_s + 60.0)
+        fired = engine.run(until=duration_s + 60.0)
         arr = np.asarray(sojourns)
         mean = float(arr.mean())
         return QueueingStats(
@@ -145,6 +145,7 @@ class TestScalarReferenceIdentity:
             p99_sojourn_ms=float(np.percentile(arr, 99.0)),
             cov=float(arr.std(ddof=1) / mean) if len(arr) > 1 else 0.0,
             mean_wait_ms=float(np.mean(waits)),
+            events=fired,
         )
 
     @pytest.mark.parametrize("load,workers", [(0.3, 4), (0.9, 2)])

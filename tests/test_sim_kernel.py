@@ -367,3 +367,131 @@ class TestEveryFirstAtClamp:
         engine.every(1.0, fired.append, first_at=10.5, until=12.0)
         engine.run(until=12.0)
         assert fired == [10.5, 11.5]
+
+
+class TestPopBatchDue:
+    def _queue(self, items):
+        q = EventQueue()
+        events = q.push_many(items)
+        return q, events
+
+    def test_pops_only_equal_time_and_priority(self):
+        cb = lambda t: None  # noqa: E731
+        q, _ = self._queue(
+            [(1.0, cb, 0), (1.0, cb, 0), (1.0, cb, 5), (2.0, cb, 0)]
+        )
+        out: list = []
+        assert q.pop_batch_due(None, out, 1 << 30) == 2
+        assert [(e.time, e.priority) for e in out] == [(1.0, 0), (1.0, 0)]
+        assert q.pop_batch_due(None, out, 1 << 30) == 1
+        assert [(e.time, e.priority) for e in out] == [(1.0, 5)]
+
+    def test_horizon_leaves_heap_intact(self):
+        q, _ = self._queue([(5.0, lambda t: None, 0)])
+        out: list = []
+        assert q.pop_batch_due(3.0, out, 1 << 30) == 0
+        assert out == []
+        assert len(q) == 1
+        assert q.peek_time() == 5.0
+
+    def test_empty_queue_returns_zero(self):
+        q = EventQueue()
+        out: list = []
+        assert q.pop_batch_due(None, out, 1 << 30) == 0
+
+    def test_limit_caps_batch(self):
+        cb = lambda t: None  # noqa: E731
+        q, _ = self._queue([(1.0, cb, 0)] * 5)
+        out: list = []
+        assert q.pop_batch_due(None, out, 2) == 2
+        assert len(q) == 3
+
+    def test_cancelled_events_skipped(self):
+        cb = lambda t: None  # noqa: E731
+        q, events = self._queue([(1.0, cb, 0)] * 3 + [(2.0, cb, 0)])
+        events[0].cancel()
+        events[2].cancel()
+        out: list = []
+        assert q.pop_batch_due(None, out, 1 << 30) == 1
+        assert out[0] is events[1]
+
+    def test_reinsert_restores_pop_order(self):
+        cb = lambda t: None  # noqa: E731
+        q, _ = self._queue([(1.0, cb, 0), (1.0, cb, 0)])
+        out: list = []
+        q.pop_batch_due(None, out, 1 << 30)
+        q.reinsert(out[1])
+        assert len(q) == 1
+        assert q.pop() is out[1]
+
+
+class TestCoalescedRunLoop:
+    def test_same_tick_lower_priority_scheduled_mid_batch_fires_first(self):
+        # Historic single-pop semantics: an arrival scheduled *during* a
+        # control batch at the same time must fire before the rest of
+        # the batch. The reinsert guard preserves exactly that.
+        engine = Engine()
+        order = []
+
+        def control_a(t: float) -> None:
+            order.append("ctl-a")
+            engine.at(t, lambda t2: order.append("arrival"),
+                      priority=Engine.PRIORITY_ARRIVAL)
+
+        engine.at(1.0, control_a, priority=Engine.PRIORITY_CONTROL)
+        engine.at(1.0, lambda t: order.append("ctl-b"),
+                  priority=Engine.PRIORITY_CONTROL)
+        engine.run(until=2.0)
+        assert order == ["ctl-a", "arrival", "ctl-b"]
+
+    def test_same_tick_same_priority_scheduled_mid_batch_fires_after(self):
+        engine = Engine()
+        order = []
+
+        def first(t: float) -> None:
+            order.append("first")
+            engine.at(t, lambda t2: order.append("late"))
+
+        engine.at(1.0, first)
+        engine.at(1.0, lambda t: order.append("second"))
+        engine.run(until=2.0)
+        assert order == ["first", "second", "late"]
+
+    def test_cancel_within_batch_skipped(self):
+        # An event cancelled by an earlier member of its own coalesced
+        # batch must not fire (the scalar loop skipped it too).
+        engine, order = Engine(), []
+        victim = [None]
+
+        def killer(t: float) -> None:
+            order.append("killer")
+            victim[0].cancel()
+
+        engine.at(1.0, killer)
+        victim[0] = engine.at(1.0, lambda t: order.append("victim"))
+        fired = engine.run(until=2.0)
+        assert order == ["killer"]
+        assert fired == 1
+
+    def test_max_events_splits_batch(self):
+        engine = Engine()
+        order = []
+        for i in range(4):
+            engine.at(1.0, (lambda i: lambda t: order.append(i))(i))
+        assert engine.run(max_events=2) == 2
+        assert order == [0, 1]
+        assert engine.run(max_events=10) == 2
+        assert order == [0, 1, 2, 3]
+
+    def test_coalesced_matches_scalar_trace(self):
+        # Differential: a mixed burst must fire in exactly the order the
+        # historical one-pop loop produced (time, then priority, then
+        # schedule order).
+        items = [
+            (1.0, 0), (1.0, 5), (1.0, 0), (2.0, 10), (2.0, 0), (1.5, 0)
+        ]
+        engine, fired = Engine(), []
+        for i, (t, p) in enumerate(items):
+            engine.at(t, (lambda i: lambda t2: fired.append(i))(i), priority=p)
+        engine.run()
+        assert fired == [0, 2, 1, 5, 4, 3]
