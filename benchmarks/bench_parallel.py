@@ -97,8 +97,11 @@ def run_benchmark(
     # "speedup" there is pool overhead, not a regression. Flag it so
     # downstream consumers never read the number as a real slowdown.
     degraded = cpu_count < 2 or (speedup is not None and speedup < 1.0)
+    from repro.sim.kernel import resolve_kernel
+
     report: Dict[str, object] = {
         "benchmark": "parallel_grid_engine",
+        "kernel": resolve_kernel(),
         "grid": {
             "services": list(BENCH_SERVICES),
             "be_jobs": BENCH_BE_JOBS,

@@ -98,8 +98,11 @@ def run_benchmark(
     cpu_count = os.cpu_count() or 1
     speedup = round(serial_s / parallel_s, 3) if parallel_s > 0 else None
     degraded = cpu_count < 2 or (speedup is not None and speedup < 1.0)
+    from repro.sim.kernel import resolve_kernel
+
     report: Dict[str, object] = {
         "benchmark": "parallel_profiling_pipeline",
+        "kernel": resolve_kernel(),
         "services": list(BENCH_SERVICES),
         "sweep_points_per_service": 50,
         "cpu_count": cpu_count,

@@ -20,7 +20,10 @@ Runs, in order:
 5. the kernel smoke: a small co-location cell (healthy and faulted) and
    a short queueing run under the scalar and batched simulation kernels,
    asserting bit-identical results and RNG states, then
-6. the tier-1 test suite (``pytest -x -q`` over ``tests/``).
+6. the fleet smoke: a small mixed fleet through the fleet SoA kernel,
+   asserting bit-identity with the sequential scalar reference and
+   shard-count invariance, then
+7. the tier-1 test suite (``pytest -x -q`` over ``tests/``).
 
 Exit code is non-zero on any failure, so CI can gate pool-runner and
 cache regressions without paying for the full figure grids. Usage::
@@ -331,6 +334,29 @@ def smoke_kernel() -> None:
     )
 
 
+def smoke_fleet() -> None:
+    """The fleet identity gate.
+
+    A small mixed fleet (one fault-injected instance) through the fleet
+    SoA kernel must match the sequential scalar reference digest, and a
+    2-shard split of the same fleet must match the 1-shard run.
+    """
+    from repro.experiments.fleet import fleet_identity_probe
+
+    t0 = time.perf_counter()
+    case = {"n_instances": 4, "duration_s": 40.0, "seed": 5, "with_faults": True}
+    reference = fleet_identity_probe("reference", **case)
+    if fleet_identity_probe("fleet", **case) != reference:
+        raise AssertionError("fleet kernel diverged from the scalar reference")
+    if fleet_identity_probe("fleet", shards=2, **case) != reference:
+        raise AssertionError("fleet results changed with the shard count")
+    elapsed = time.perf_counter() - t0
+    print(
+        f"smoke fleet OK: 4-instance mixed fleet bit-identical to the "
+        f"sequential scalar reference, shard-count invariant ({elapsed:.1f}s)"
+    )
+
+
 def run_tier1() -> int:
     """The repo's tier-1 suite, exactly as the roadmap invokes it."""
     env = dict(**__import__("os").environ)
@@ -355,6 +381,7 @@ def main() -> int:
     smoke_cache()
     smoke_chaos()
     smoke_kernel()
+    smoke_fleet()
     if args.skip_tests:
         return 0
     return run_tier1()

@@ -13,10 +13,14 @@
 #      cold/warm grid cache round trip, and the chaos smoke: a crash
 #      storm that must leave results bit-identical with retry counters
 #      matching the injected crashes, plus a tiny cluster fault storm,
-#      and the scalar-vs-batched kernel identity smoke)
+#      the scalar-vs-batched kernel identity smoke, and the fleet
+#      smoke: a mixed fleet bit-identical to the sequential scalar
+#      reference and invariant to the shard count)
 #      from scripts/bench_smoke.py, then
 #   3. (opt-in, RHYTHM_BENCH_GATE=1) the full kernel benchmark with a 5x
-#      aggregate-speedup gate (benchmarks/bench_kernel.py --gate 5.0).
+#      aggregate-speedup gate (benchmarks/bench_kernel.py --gate 5.0)
+#      and the fleet benchmark with its 10x colocation-path gate
+#      (benchmarks/bench_fleet.py --gate 10.0).
 #
 # Any failure aborts with a non-zero exit code.
 
@@ -37,6 +41,9 @@ if [[ "${RHYTHM_BENCH_GATE:-0}" == "1" ]]; then
   echo
   echo "== kernel benchmark gate (RHYTHM_BENCH_GATE=1) =="
   python benchmarks/bench_kernel.py --gate 5.0
+  echo
+  echo "== fleet benchmark gate (RHYTHM_BENCH_GATE=1) =="
+  python benchmarks/bench_fleet.py --gate 10.0
 fi
 
 echo

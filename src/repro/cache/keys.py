@@ -47,6 +47,14 @@ from repro.errors import CacheKeyError
 #: (engine batch-pop loop, vectorized rate/latency/queueing math); the
 #: kernels are pinned bit-identical to each other, but :3 entries
 #: predate the identity pin and must miss.
+#:
+#: The fleet kernel did NOT bump the salt: every fleet-era optimisation
+#: (row caching, sampler fast paths, memoized subcontroller applies) is
+#: bit-exact by the identity tests, so :4 entries stay valid. The fleet
+#: zone governor also never enters keys — it acts through the
+#: ``action_filter`` hook, a post-construction runtime attribute
+#: (default ``None``) on ColocationExperiment, not a config field, and
+#: fleet runs are not cached as cells.
 CODE_VERSION_SALT = "rhythm-repro-cache:4"
 
 _PRIMITIVE_TAGS = {

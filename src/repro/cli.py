@@ -371,6 +371,68 @@ def cmd_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run a sharded Rhythm-vs-Heracles fleet on the Alibaba-shaped trace."""
+    import time
+
+    from repro.experiments.fleet import FleetConfig, alibaba_fleet
+
+    config = FleetConfig(
+        duration_s=args.duration,
+        shards=args.shards,
+        workers=args.workers,
+        zone_size=args.zone_size,
+        epoch_ticks=args.epoch_ticks,
+        violation_threshold=args.violation_threshold,
+    )
+    rows = []
+    reports = {}
+    for policy in args.policies:
+        fleet = alibaba_fleet(
+            args.machines,
+            policy=policy,
+            duration_s=args.duration,
+            seed=args.seed,
+            config=config,
+        )
+        start = time.perf_counter()
+        result = fleet.run()
+        elapsed = time.perf_counter() - start
+        rows.append([
+            policy,
+            result.n_machines,
+            f"{result.be_throughput:.4f}",
+            f"{result.emu:.4f}",
+            result.sla_violations,
+            f"{result.sla_violation_rate:.2%}",
+            f"{elapsed:.1f}s",
+        ])
+        reports[policy] = {
+            "policy": policy,
+            "machines": result.n_machines,
+            "instances": result.n_instances,
+            "events_fired": result.events_fired,
+            "be_throughput": result.be_throughput,
+            "emu": result.emu,
+            "sla_violations": result.sla_violations,
+            "sla_violation_rate": result.sla_violation_rate,
+            "digest": result.digest,
+            "zone_records": len(result.zone_records),
+            "wall_seconds": elapsed,
+        }
+    print(render_table(
+        ["Policy", "Machines", "BE tput", "EMU", "SLA viols", "viol rate", "wall"],
+        rows,
+        title=f"Fleet — {args.duration:.0f}s simulated, "
+              f"{args.shards} shard(s), seed {args.seed}",
+    ))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(reports, fh, indent=2)
+        print(f"wrote fleet report to {args.json}")
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     """Inspect or clear the content-addressed result cache."""
     from repro.cache import CacheStore, cache_enabled
@@ -434,7 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", default=None, help="also dump the report to this file")
     p.add_argument("--kernel", choices=["scalar", "batched"], default=None,
-                   help="simulation kernel (default: RHYTHM_KERNEL or scalar; "
+                   help="simulation kernel (default: RHYTHM_KERNEL or batched; "
                         "results are bit-identical either way)")
     p.set_defaults(fn=cmd_chaos)
 
@@ -470,9 +532,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, help="also dump rows to this file")
     p.add_argument("--kernel", choices=["scalar", "batched"], default=None,
                    help="simulation kernel for every cell (default: "
-                        "RHYTHM_KERNEL or scalar; results are bit-identical "
+                        "RHYTHM_KERNEL or batched; results are bit-identical "
                         "either way)")
     p.set_defaults(fn=cmd_grid)
+
+    p = sub.add_parser("fleet", help="sharded thousand-machine fleet run")
+    p.add_argument("--machines", type=int, default=1000,
+                   help="minimum fleet size in machines (default 1000)")
+    p.add_argument("--duration", type=float, default=600.0,
+                   help="simulated seconds (default 600)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="event-engine shards; results are shard-invariant")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (default: RHYTHM_WORKERS or CPUs)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--zone-size", type=int, default=4,
+                   help="zone width in LC instances (shards split at zones)")
+    p.add_argument("--epoch-ticks", type=int, default=30,
+                   help="zone-governor epoch length in control ticks")
+    p.add_argument("--violation-threshold", type=float, default=None,
+                   help="zone SLA-violation fraction that clamps BE growth "
+                        "for the next epoch (default: governor off)")
+    p.add_argument("--policies", nargs="*", default=["rhythm", "heracles"],
+                   choices=["rhythm", "heracles"],
+                   help="controller policies to run (default: both)")
+    p.add_argument("--json", default=None, help="dump the fleet report here")
+    p.set_defaults(fn=cmd_fleet)
 
     p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)

@@ -125,12 +125,21 @@ class Machine:
         self.counters = MachineCounters()
         self._lc_memory_gb = 0.0
         self._be: Dict[str, BeAllocation] = {}
+        # Cached left fold of per-job memory, refreshed on every mutation.
+        # ``free_memory_gb`` is read in tight grow loops, so the O(n) sum
+        # runs once per allocation change instead of once per read.
+        self._be_mem_total = 0.0
         #: Monotonic BE-allocation version. Bumped on every change that can
         #: affect BE progress rates (launch/kill, core/LLC grow-shrink,
         #: suspend/resume) so rate computations can cache per-job inputs
         #: and revalidate with one integer compare. Memory sizing does not
         #: bump it — memory never enters the rate model.
         self.version = 0
+        #: Monotonic BE-memory version. Memory sizing never changes rates
+        #: (hence it leaves :attr:`version` alone) but it does change
+        #: ``can_launch_be``, so controllers that memoize whole control
+        #: actions need a second counter that grow/shrink-memory bump.
+        self.mem_version = 0
 
     # -- LC reservation -----------------------------------------------------
 
@@ -194,8 +203,13 @@ class Machine:
 
     @property
     def be_total_memory_gb(self) -> float:
-        """Memory held by all BE jobs."""
-        return sum(a.memory_gb for a in self._be.values())
+        """Memory held by all BE jobs (cached fold, O(1) per read)."""
+        return self._be_mem_total
+
+    def _refresh_be_mem_total(self) -> None:
+        # Exactly the fold the property used to run on every read, so the
+        # cached value is bit-identical to the on-demand sum.
+        self._be_mem_total = sum(a.memory_gb for a in self._be.values())
 
     def can_launch_be(self) -> bool:
         """True if a fresh BE job (1 core, 2 GB; LLC is best-effort) fits.
@@ -228,6 +242,7 @@ class Machine:
             memory_gb=self.be_initial_memory_gb,
         )
         self._be[job_id] = alloc
+        self._refresh_be_mem_total()
         self.counters.be_launches += 1
         self.version += 1
         return alloc
@@ -269,6 +284,8 @@ class Machine:
         if self.free_memory_gb < self.be_memory_step_gb:
             return False
         alloc.memory_gb += self.be_memory_step_gb
+        self._refresh_be_mem_total()
+        self.mem_version += 1
         return True
 
     def shrink_be_memory(self, job_id: str) -> bool:
@@ -277,6 +294,8 @@ class Machine:
         if alloc.memory_gb - self.be_memory_step_gb < self.be_initial_memory_gb:
             return False
         alloc.memory_gb -= self.be_memory_step_gb
+        self._refresh_be_mem_total()
+        self.mem_version += 1
         return True
 
     def suspend_be(self, job_id: str) -> None:
@@ -298,6 +317,7 @@ class Machine:
         self.cpuset.release_all(job_id)
         self.llc.release_all(job_id)
         del self._be[alloc.job_id]
+        self._refresh_be_mem_total()
         self.counters.be_kills += 1
         self.version += 1
 

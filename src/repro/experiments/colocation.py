@@ -19,7 +19,7 @@ periods. Each period it:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Callable, Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -231,6 +231,11 @@ class ColocationExperiment:
         self._batched: Optional[BatchedColocationKernel] = (
             BatchedColocationKernel(self) if self.kernel == "batched" else None
         )
+        # Optional post-decision hook ``(pod, action) -> action``. Not a
+        # config field (it is runtime wiring, like ``kernel``), so cache
+        # keys are untouched. The fleet zone governor uses it to clamp
+        # ALLOW decisions in SLA-violating zones.
+        self.action_filter: Optional[Callable[[str, BeAction], BeAction]] = None
 
     # -- the control loop ----------------------------------------------------
 
@@ -354,6 +359,8 @@ class ColocationExperiment:
             snapshot = snapshots[pod]
             usage = usages[pod]
             action = run.controller.decide(load, tail_ms, t=t)
+            if self.action_filter is not None:
+                action = self.action_filter(pod, action)
             run.last_action = action
             run.last_snapshot = snapshot
             if window_closed:

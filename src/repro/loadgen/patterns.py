@@ -106,6 +106,92 @@ class SweepLoad:
         return self.start + (self.end - self.start) * (t / self.duration_s)
 
 
+class FlashCrowdLoad:
+    """A base pattern with superimposed flash-crowd spikes.
+
+    Each crowd is ``(start_s, peak_fraction, ramp_s, decay_s)``: the
+    extra load ramps linearly from 0 to ``peak_fraction`` over
+    ``ramp_s`` seconds, then decays exponentially with time constant
+    ``decay_s``. The total is clamped into [0, 1], so a crowd landing on
+    an already-busy diurnal peak saturates rather than overflows.
+    """
+
+    def __init__(
+        self,
+        base: LoadPattern,
+        crowds: Sequence[Tuple[float, float, float, float]],
+    ) -> None:
+        validated = []
+        for crowd in crowds:
+            if len(crowd) != 4:
+                raise ConfigurationError(
+                    f"crowd must be (start_s, peak, ramp_s, decay_s), got {crowd!r}"
+                )
+            start_s, peak, ramp_s, decay_s = crowd
+            if start_s < 0:
+                raise ConfigurationError(f"crowd start must be >= 0, got {start_s}")
+            if not (0.0 < peak <= 1.0):
+                raise ConfigurationError(f"crowd peak {peak!r} out of (0,1]")
+            if ramp_s <= 0 or decay_s <= 0:
+                raise ConfigurationError(
+                    f"crowd ramp/decay must be positive, got {ramp_s}/{decay_s}"
+                )
+            validated.append((float(start_s), float(peak), float(ramp_s), float(decay_s)))
+        self.base = base
+        self.crowds = sorted(validated)
+
+    def load_at(self, t: float) -> float:
+        """Base load plus every active crowd's surge, clamped to [0, 1]."""
+        load = self.base.load_at(t)
+        for start_s, peak, ramp_s, decay_s in self.crowds:
+            dt = t - start_s
+            if dt < 0:
+                break  # crowds are sorted; none later can be active
+            if dt <= ramp_s:
+                load += peak * (dt / ramp_s)
+            else:
+                load += peak * math.exp(-(dt - ramp_s) / decay_s)
+        return min(1.0, max(0.0, load))
+
+
+class ReplayLoad:
+    """Trace replay: piecewise-constant levels sampled every ``interval_s``.
+
+    ``levels[i]`` holds for ``t`` in ``[i * interval_s, (i+1) * interval_s)``.
+    With ``loop=True`` the trace wraps around (for driving long
+    simulations from a short recorded window); otherwise the last level
+    holds forever.
+    """
+
+    def __init__(
+        self,
+        levels: Sequence[float],
+        interval_s: float,
+        loop: bool = False,
+    ) -> None:
+        if not levels:
+            raise ConfigurationError("ReplayLoad needs at least one level")
+        if interval_s <= 0:
+            raise ConfigurationError(f"interval must be positive, got {interval_s}")
+        for level in levels:
+            if not (0.0 <= level <= 1.0):
+                raise ConfigurationError(f"trace level {level!r} out of [0,1]")
+        self.levels = [float(level) for level in levels]
+        self.interval_s = float(interval_s)
+        self.loop = bool(loop)
+
+    def load_at(self, t: float) -> float:
+        """The trace level covering ``t`` (clamped or wrapped at the ends)."""
+        if t < 0:
+            return self.levels[0]
+        index = int(t / self.interval_s)
+        if self.loop:
+            index %= len(self.levels)
+        elif index >= len(self.levels):
+            index = len(self.levels) - 1
+        return self.levels[index]
+
+
 class CallableLoad:
     """Adapts a plain function ``t -> fraction`` to the pattern protocol."""
 

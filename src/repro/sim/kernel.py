@@ -19,6 +19,12 @@ and drains whole ticks with vectorized operations:
   sojourn/wait extraction — no engine, no per-request closures.
 - :class:`BatchedColocationKernel` composes the pieces into a drop-in
   replacement for the scalar ``ColocationExperiment._tick``.
+- :class:`FleetColocationKernel` lifts the same idea across *machines*:
+  it runs many ``ColocationExperiment`` instances in lockstep, holding
+  one contiguous (machines × job-slots) array family for BE rates and
+  progress, (machines,) arrays for LC usage, NIC caps, DVFS state and
+  metric integrals, so a fleet tick is a handful of whole-array numpy
+  ops plus one python pass for the (stateful) per-machine controllers.
 
 Identity pinning
 ----------------
@@ -46,6 +52,7 @@ the sharing).
 from __future__ import annotations
 
 import heapq
+import math
 import os
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -58,8 +65,11 @@ from repro.bejobs.job import (
     LcUsage,
 )
 from repro.cluster.machine import BE_DOMAIN, LC_DOMAIN, Machine
+from repro.core.actions import BeAction
 from repro.errors import ConfigurationError
 from repro.interference.model import Pressure
+from repro.interference.sensitivity import PRESSURE_KINDS
+from repro.metrics.collector import TickSample
 from repro.workloads.latency import LatencyModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -75,10 +85,16 @@ KERNELS = ("scalar", "batched")
 
 
 def resolve_kernel(explicit: Optional[str] = None) -> str:
-    """Resolve the kernel choice: explicit arg > ``RHYTHM_KERNEL`` > scalar."""
+    """Resolve the kernel choice: explicit arg > ``RHYTHM_KERNEL`` > batched.
+
+    The batched kernel is the default: it is pinned bit-identical to the
+    scalar reference and an order of magnitude faster. ``RHYTHM_KERNEL=
+    scalar`` remains the escape hatch (and the reference for identity
+    tests and benchmarks).
+    """
     value = explicit if explicit is not None else os.environ.get(KERNEL_ENV_VAR)
     if value is None or value == "":
-        return "scalar"
+        return "batched"
     value = str(value).strip().lower()
     if value not in KERNELS:
         raise ConfigurationError(
@@ -287,6 +303,64 @@ class BatchedServiceSampler:
         self._service = service
         self._stream_name = f"service:{service.spec.name}:latency"
         self._pods = {pod.name: pod for pod in service.spec.servpods}
+        # Component constants hoisted once so the per-tick parameter
+        # build is plain float math — the exact expressions of
+        # ``component_median_ms`` / ``component_sigma``, just without
+        # the per-call attribute walks and revalidation.
+        self._consts = {
+            name: [
+                (
+                    c.base_ms,
+                    c.lin_growth,
+                    c.sat_growth,
+                    c.sat_power,
+                    c.cov_knee,
+                    c.sigma0,
+                    c.sigma_growth,
+                )
+                for c in pod.components
+            ]
+            for name, pod in self._pods.items()
+        }
+
+    def _params(
+        self,
+        u: float,
+        slowdowns: Dict[str, float],
+        inflations: Dict[str, float],
+    ) -> Dict[str, Tuple]:
+        """Per-pod lognormal parameters; floats for single-component pods."""
+        params: Dict[str, Tuple] = {}
+        for name, consts in self._consts.items():
+            slowdown = slowdowns.get(name, 1.0)
+            inflation = inflations.get(name, 1.0)
+            if slowdown < 1.0:
+                raise ConfigurationError(f"slowdown must be >= 1, got {slowdown}")
+            if inflation < 1.0:
+                raise ConfigurationError(
+                    f"sigma inflation must be >= 1, got {inflation}"
+                )
+            if len(consts) == 1:
+                base, lin, sat, p, knee, s0, sg = consts[0]
+                median = base * (1.0 + lin * u + sat * u**p / (1.25 - u))
+                ramp = max(0.0, (u - knee) / (1.0 - knee))
+                params[name] = (
+                    math.log(median * slowdown),
+                    s0 * (1.0 + sg * ramp**2) * inflation,
+                )
+            else:
+                means = []
+                sigmas = []
+                for base, lin, sat, p, knee, s0, sg in consts:
+                    median = base * (1.0 + lin * u + sat * u**p / (1.25 - u))
+                    means.append(math.log(median * slowdown))
+                    ramp = max(0.0, (u - knee) / (1.0 - knee))
+                    sigmas.append(s0 * (1.0 + sg * ramp**2) * inflation)
+                params[name] = (
+                    np.array(means)[:, None],
+                    np.array(sigmas)[:, None],
+                )
+        return params
 
     def sample_e2e(
         self,
@@ -298,15 +372,12 @@ class BatchedServiceSampler:
         """Bit-identical to ``Service.sample_e2e`` under the same state."""
         service = self._service
         rng = service.streams.stream(self._stream_name)
-        params = {
-            name: LatencyModel.component_params(
-                pod,
-                load,
-                slowdowns.get(name, 1.0),
-                inflations.get(name, 1.0),
+        u = float(load)
+        if not (0.0 <= u <= 1.02):
+            raise ConfigurationError(
+                f"load fraction must be in [0, 1.02], got {load!r}"
             )
-            for name, pod in self._pods.items()
-        }
+        params = self._params(u, slowdowns, inflations)
         counts = service._type_counts(n, rng)
         e2e = np.empty(n)
         offset = 0
@@ -323,16 +394,23 @@ class BatchedServiceSampler:
         self,
         node: "CallNode",
         n: int,
-        params: Dict[str, Tuple[np.ndarray, np.ndarray]],
+        params: Dict[str, Tuple],
         rng: np.random.Generator,
     ) -> np.ndarray:
-        means, sigmas = params[node.servpod]
-        draws = rng.lognormal(
-            mean=means, sigma=sigmas, size=(means.shape[0], n)
-        )
-        total = draws[0]
-        for row in draws[1:]:
-            total = total + row
+        p = params[node.servpod]
+        if type(p[0]) is float:
+            # Single-component pod: scalar-parameter draw. Verified
+            # bit-identical to the (1, n) array-parameter broadcast —
+            # same value stream, same generator state after.
+            total = rng.lognormal(mean=p[0], sigma=p[1], size=n)
+        else:
+            means, sigmas = p
+            draws = rng.lognormal(
+                mean=means, sigma=sigmas, size=(means.shape[0], n)
+            )
+            total = draws[0]
+            for row in draws[1:]:
+                total = total + row
         if not node.children:
             return total
         child_times = [
@@ -486,3 +564,804 @@ class BatchedColocationKernel:
         exp._control_phase(
             t, dt, load, tail_ms, window_closed, snapshots, usages
         )
+
+
+# ---------------------------------------------------------------------------
+# Fleet-wide SoA: many colocation experiments in lockstep
+# ---------------------------------------------------------------------------
+
+
+class FleetColocationKernel:
+    """Runs many ``ColocationExperiment`` instances as one SoA fleet.
+
+    Everything the scalar path recomputes per machine per tick — LC
+    usage, NIC caps, proportional bandwidth shares, Leontief rates, BE
+    progress, interference pressure, DVFS power stepping, and the metric
+    integrals — lives in ``(machines,)`` / ``(machines, job-slots)``
+    arrays spanning the *whole fleet*, so a tick is a handful of
+    whole-array numpy ops plus one python pass for the parts that are
+    genuinely stateful per machine (controller decisions, subcontroller
+    actions, RNG-driven latency sampling).
+
+    Identity contract (the PR-2/PR-6 pattern, fleet-wide): running
+    ``FleetColocationKernel([e1, .., ek]).run()`` is bit-identical —
+    results, metrics, controller history, final RNG states — to running
+    ``e1.run(); ..; ek.run()`` sequentially. Instances with fault
+    schedules or histogram tail estimators are *delegated*: their whole
+    ticks run through their own (already identity-pinned) per-instance
+    path, interleaved on the same lockstep clock, so mixed fleets
+    compose without weakening the pin.
+
+    How the vectorized path keeps the pin:
+
+    - world mutation (launch/kill/grow/shrink/suspend/resume) goes
+      through the *same* subcontroller code on the shared machines and
+      pools; the SoA job mirror is invalidated by ``Machine.version``;
+    - subcontroller applies are memoized per machine on ``(action,
+      version, mem_version)``: a key can only enter the memo set after
+      an execution that provably changed nothing, so skipping a repeat
+      cannot change state (STOP is never memoized — its DVFS reset is a
+      side effect the key cannot witness);
+    - BE progress integrates in-place in SoA (elementwise float64 ==
+      python-float arithmetic) and is flushed back to the ``BeJob``
+      objects before any apply that might read or rearrange them;
+    - reductions over a machine's jobs run as padded column sweeps
+      (``acc = acc + col``), exact because pads contribute ``+0.0`` to
+      non-negative accumulators; the interference impact sum and the
+      ``x ** gamma`` terms stay per-machine python arithmetic, where
+      vectorized ``np.power`` is known to differ by 1 ulp;
+    - per-window tails group instances by ``(n_samples, percentile)``
+      and reduce with one ``np.percentile(stack, pct, axis=1)`` call,
+      bitwise equal per row to the scalar per-instance call;
+    - metric columns (one ``(machines,)`` array per tick) integrate
+      vectorized and only materialise into ``TickSample`` objects and
+      window-tail replays once, at the end of the run.
+
+    All experiments must share ``duration_s`` and ``control_period_s``
+    (one lockstep clock). ``on_tick(tick_index, t, loads, closed,
+    tails, be_rates)`` — lists indexed like ``experiments`` — fires
+    after each control phase; a fleet-level governor may mutate the
+    experiments' ``action_filter`` there, taking effect next tick.
+    """
+
+    def __init__(
+        self,
+        experiments: Sequence["ColocationExperiment"],
+        on_tick=None,
+    ) -> None:
+        if not experiments:
+            raise ConfigurationError("fleet needs at least one experiment")
+        self._exps: List["ColocationExperiment"] = list(experiments)
+        self._on_tick = on_tick
+        cfg0 = self._exps[0].config
+        self._duration_s = cfg0.duration_s
+        self._period_s = cfg0.control_period_s
+        for exp in self._exps:
+            cfg = exp.config
+            if (
+                cfg.duration_s != self._duration_s
+                or cfg.control_period_s != self._period_s
+            ):
+                raise ConfigurationError(
+                    "fleet experiments must share duration_s and "
+                    "control_period_s (one lockstep clock)"
+                )
+        self._del_idx = [
+            i
+            for i, exp in enumerate(self._exps)
+            if exp._fault_injector is not None or exp._tail_estimator is not None
+        ]
+        delegated = set(self._del_idx)
+        self._vec_idx = [i for i in range(len(self._exps)) if i not in delegated]
+
+        # -- machine-major bookkeeping (global machine index m) -------------
+        # Machine *names* collide across experiments (deploy_service
+        # names machines after Servpods), so every mapping here is
+        # keyed by index, never by name.
+        self._m_pod: List[str] = []
+        self._m_i: List[int] = []
+        self._m_run: List = []
+        self._m_mach: List[Machine] = []
+        self._inst_machines: List[List[int]] = []
+        m_vi: List[int] = []
+        for vi, i in enumerate(self._vec_idx):
+            exp = self._exps[i]
+            rows: List[int] = []
+            for pod in exp._runs:
+                rows.append(len(self._m_pod))
+                self._m_pod.append(pod)
+                self._m_i.append(i)
+                m_vi.append(vi)
+                self._m_run.append(exp._runs[pod])
+                self._m_mach.append(exp.deployment.servpod(pod).machine)
+            self._inst_machines.append(rows)
+        M = len(self._m_pod)
+        self._n_machines = M
+        self._m_vi_arr = np.asarray(m_vi, dtype=np.intp)
+
+        self._samplers = [
+            BatchedServiceSampler(self._exps[i].service) for i in self._vec_idx
+        ]
+        self._tail_pct = [
+            self._exps[i].spec.tail_percentile for i in self._vec_idx
+        ]
+
+        jmax = 1
+        for i in self._vec_idx:
+            jmax = max(jmax, int(self._exps[i].config.max_be_instances))
+        self._jmax = jmax
+
+        # -- static per-machine parameters ----------------------------------
+        busy_c: List[float] = []
+        membw_c: List[float] = []
+        net_c: List[float] = []
+        link_nic: List[float] = []
+        link_spec: List[float] = []
+        guard: List[float] = []
+        cores_f: List[float] = []
+        sla: List[float] = []
+        idle_w: List[float] = []
+        active_w: List[float] = []
+        hi_w: List[float] = []
+        lo_w: List[float] = []
+        f_min: List[int] = []
+        f_max: List[int] = []
+        f_step: List[int] = []
+        f_now: List[int] = []
+        self._cores_i: List[int] = []
+        self._iso: List = []
+        self._pconst: List[Tuple] = []
+        for m in range(M):
+            exp = self._exps[self._m_i[m]]
+            pod = self._m_pod[m]
+            machine = self._m_mach[m]
+            bc, mc, nc, _llc = exp.service._usage_coeffs[pod]
+            busy_c.append(bc)
+            membw_c.append(mc)
+            net_c.append(nc)
+            link_nic.append(machine.nic.link_gbps)
+            link_spec.append(machine.spec.link_gbps)
+            guard.append(machine.nic.lc_guard_factor)
+            self._cores_i.append(machine.spec.cores)
+            cores_f.append(float(machine.spec.cores))
+            sla.append(exp.spec.sla_ms)
+            pm = machine.power_model
+            idle_w.append(pm.idle_watts)
+            active_w.append(pm.active_watts_per_core)
+            hi_w.append(exp._frequency.cap_fraction * pm.tdp_watts)
+            lo_w.append(exp._frequency.restore_fraction * pm.tdp_watts)
+            dvfs = machine.dvfs
+            f_min.append(dvfs.min_mhz)
+            f_max.append(dvfs.max_mhz)
+            f_step.append(dvfs.step_mhz)
+            f_now.append(dvfs.frequency(BE_DOMAIN))
+            self._iso.append(exp.config.isolation)
+            sens = exp.deployment.servpod(pod).effective_sensitivity()
+            model = exp.config.interference
+            self._pconst.append(
+                (
+                    tuple(sens.coefficient(kind) for kind in PRESSURE_KINDS),
+                    model.gamma,
+                    model.beta,
+                    model.headroom,
+                    model.sigma_coupling,
+                    model.sigma_cap,
+                )
+            )
+        self._busy_coeff = np.asarray(busy_c)
+        self._membw_coeff = np.asarray(membw_c)
+        self._net_coeff = np.asarray(net_c)
+        self._link_nic = np.asarray(link_nic)
+        self._link_spec = np.asarray(link_spec)
+        self._guard = np.asarray(guard)
+        self._cores_farr = np.asarray(cores_f)
+        self._sla_arr = np.asarray(sla)
+        self._idle_w = np.asarray(idle_w)
+        self._active_w = np.asarray(active_w)
+        self._hi_w = np.asarray(hi_w)
+        self._lo_w = np.asarray(lo_w)
+        self._f_min = np.asarray(f_min, dtype=np.int64)
+        self._f_max = np.asarray(f_max, dtype=np.int64)
+        self._f_step = np.asarray(f_step, dtype=np.int64)
+        self._f_max_l = f_max
+        self._freq = np.asarray(f_now, dtype=np.int64)
+
+        # (freq / max) ** 3 lookup, computed with *python* pow: the
+        # vectorized cube diverges from the scalar path by 1 ulp.
+        ranges = {(f_min[m], f_max[m], f_step[m]) for m in range(M)}
+        self._r3_table: Optional[np.ndarray] = None
+        self._r3_base = 0
+        self._r3_step = 1
+        if len(ranges) == 1:
+            lo, hi, st = next(iter(ranges))
+            self._r3_base = lo
+            self._r3_step = st
+            self._r3_table = np.asarray(
+                [(mhz / hi) ** 3 for mhz in range(lo, hi + st, st)]
+            )
+        self._r3_cache: Dict[Tuple[int, int], float] = {}
+
+        # -- SoA job mirror: padded (machines, job-slots) -------------------
+        self._cpu_base = np.zeros((M, jmax))
+        self._req_cpu = np.ones((M, jmax))
+        self._llc_ratio = np.full((M, jmax), np.inf)
+        self._membw = np.zeros((M, jmax))
+        self._membw_div = np.ones((M, jmax))
+        self._membw_mask = np.zeros((M, jmax), dtype=bool)
+        self._net = np.zeros((M, jmax))
+        self._net_div = np.ones((M, jmax))
+        self._net_mask = np.zeros((M, jmax), dtype=bool)
+        self._valid = np.zeros((M, jmax))
+        self._nw = np.zeros((M, jmax))
+        self._rs = np.zeros((M, jmax))
+        self._row_jobs: List[List] = [[] for _ in range(M)]
+        self._row_ids: List[List[str]] = [[] for _ in range(M)]
+        self._row_cache: Dict[Tuple, Tuple] = {}
+        self._busy_be = np.zeros(M)
+        self._busy_be_l: List[float] = [0.0] * M
+        self._p_cpu_l: List[float] = [0.0] * M
+        self._p_llc_l: List[float] = [0.0] * M
+        self._md_total = np.zeros(M)
+        self._nd_total = np.zeros(M)
+        self._llc_dem_l: List[float] = [0.0] * M
+        self._llc_occ_l: List[float] = [0.0] * M
+        self._cnt_inst = np.zeros(M, dtype=np.int64)
+        self._cnt_cores = np.zeros(M, dtype=np.int64)
+        self._cnt_ways = np.zeros(M, dtype=np.int64)
+        self._njobs = np.zeros(M, dtype=np.int64)
+        self._dirty = set(range(M))
+        self._memo: List[set] = [set() for _ in range(M)]
+
+        # -- deferred metric state ------------------------------------------
+        self._lc_int = np.zeros(M)
+        self._be_int = np.zeros(M)
+        self._cpu_int = np.zeros(M)
+        self._membw_int = np.zeros(M)
+        self._elapsed = 0.0
+        self._cols: List[Tuple] = []
+        self._acts: List[List[str]] = []
+        self._wins: List[Tuple[List[bool], List[float]]] = []
+        self._last_net: Optional[np.ndarray] = None
+
+    # -- SoA <-> world synchronisation --------------------------------------
+
+    def _rebuild_row(self, m: int) -> None:
+        """Reload machine ``m``'s job rows from the world objects.
+
+        Same math, same python fold order as :class:`_MachineMirror`;
+        pads carry the identity elements of every downstream op (0 for
+        sums and rates, 1 for divisors, ``inf`` for min-reductions).
+        """
+        machine = self._m_mach[m]
+        run = self._m_run[m]
+        total_cores = self._cores_i[m]
+        running = [
+            job
+            for job in run.pool.jobs()
+            if job.state == BeJobState.RUNNING
+            and machine.be_allocation(job.job_id) is not None
+            and not machine.be_allocation(job.job_id).suspended
+        ]
+        if len(running) > self._jmax:  # pragma: no cover - pool caps instances
+            raise ConfigurationError(
+                f"machine {machine.spec.name!r} has {len(running)} running BE "
+                f"jobs, fleet rows hold {self._jmax}"
+            )
+        self._cpu_base[m, :] = 0.0
+        self._req_cpu[m, :] = 1.0
+        self._llc_ratio[m, :] = np.inf
+        self._membw[m, :] = 0.0
+        self._membw_div[m, :] = 1.0
+        self._membw_mask[m, :] = False
+        self._net[m, :] = 0.0
+        self._net_div[m, :] = 1.0
+        self._net_mask[m, :] = False
+        self._valid[m, :] = 0.0
+        self._nw[m, :] = 0.0
+        self._rs[m, :] = 0.0
+        total_membw_demand = 0.0
+        total_net_demand = 0.0
+        busy_cores = 0.0
+        llc_demand_total = 0.0
+        llc_occupied_total = 0.0
+        n_ways = machine.llc.n_ways
+        cache = self._row_cache
+        cpu_b: List[float] = []
+        req_c: List[float] = []
+        llc_r: List[float] = []
+        mbw: List[float] = []
+        mbw_m: List[bool] = []
+        mbw_d: List[float] = []
+        net_l: List[float] = []
+        net_m: List[bool] = []
+        net_d: List[float] = []
+        nw_l: List[float] = []
+        rs_l: List[float] = []
+        for job in running:
+            spec = job.spec
+            alloc = machine.be_allocation(job.job_id)
+            # Row values depend only on (spec, cores, llc ways, machine
+            # geometry) — all in the key — so one computation serves every
+            # job of the same shape fleet-wide. The spec object rides along
+            # in the entry to pin its id() for the cache's lifetime.
+            key = (id(spec), alloc.cores, alloc.llc_ways, total_cores, n_ways)
+            row = cache.get(key)
+            if row is None:
+                cores = alloc.cores
+                llc_granted = alloc.llc_ways / n_ways
+                llc_demand = spec.demand_fraction("llc", cores, total_cores)
+                membw_demand = spec.demand_fraction("membw", cores, total_cores)
+                membw_demand += LLC_SPILL_TO_MEMBW * max(
+                    0.0, llc_demand - llc_granted
+                )
+                llc_usage = spec.usage("llc")
+                membw_usage = spec.usage("membw")
+                net_usage = spec.usage("net")
+                row = (
+                    cores / total_cores,
+                    min(1.0, spec.saturation_cores / total_cores),
+                    llc_granted / llc_usage if llc_usage > 0 else np.inf,
+                    min(1.0, membw_demand),
+                    membw_usage > 0,
+                    membw_usage if membw_usage > 0 else 1.0,
+                    spec.demand_fraction("net", cores, total_cores),
+                    net_usage > 0,
+                    net_usage if net_usage > 0 else 1.0,
+                    llc_demand,
+                    llc_granted,
+                    cores,
+                    spec,
+                )
+                cache[key] = row
+            cpu_b.append(row[0])
+            req_c.append(row[1])
+            llc_r.append(row[2])
+            mbw.append(row[3])
+            mbw_m.append(row[4])
+            mbw_d.append(row[5])
+            net_l.append(row[6])
+            net_m.append(row[7])
+            net_d.append(row[8])
+            nw_l.append(job.normalized_work)
+            rs_l.append(job.running_seconds)
+            total_membw_demand += row[3]
+            total_net_demand += row[6]
+            busy_cores += row[11]
+            llc_demand_total += row[9]
+            llc_occupied_total += row[10]
+        k = len(running)
+        if k:
+            self._cpu_base[m, :k] = cpu_b
+            self._req_cpu[m, :k] = req_c
+            self._llc_ratio[m, :k] = llc_r
+            self._membw[m, :k] = mbw
+            self._membw_mask[m, :k] = mbw_m
+            self._membw_div[m, :k] = mbw_d
+            self._net[m, :k] = net_l
+            self._net_mask[m, :k] = net_m
+            self._net_div[m, :k] = net_d
+            self._valid[m, :k] = 1.0
+            self._nw[m, :k] = nw_l
+            self._rs[m, :k] = rs_l
+        self._row_jobs[m] = running
+        self._row_ids[m] = [job.job_id for job in running]
+        self._busy_be[m] = busy_cores
+        self._busy_be_l[m] = busy_cores
+        self._md_total[m] = total_membw_demand
+        self._nd_total[m] = total_net_demand
+        self._llc_dem_l[m] = min(1.0, llc_demand_total)
+        self._llc_occ_l[m] = min(1.0, llc_occupied_total)
+        # CPU and LLC pressure are pure functions of row state, so they
+        # only move when the row does; the tick loop reads the cache.
+        iso = self._iso[m]
+        self._p_cpu_l[m] = iso.cpu_pressure(min(1.0, busy_cores / total_cores))
+        self._p_llc_l[m] = iso.llc_pressure(
+            self._llc_occ_l[m], self._llc_dem_l[m]
+        )
+        self._cnt_inst[m] = machine.be_instance_count
+        self._cnt_cores[m] = machine.be_total_cores
+        self._cnt_ways[m] = machine.be_total_llc_ways
+        self._njobs[m] = len(running)
+
+    def _flush_row(self, m: int) -> None:
+        """Write accumulated BE progress back into the ``BeJob`` objects."""
+        jobs = self._row_jobs[m]
+        if not jobs:
+            return
+        nw = self._nw[m, : len(jobs)].tolist()
+        rs = self._rs[m, : len(jobs)].tolist()
+        for j, job in enumerate(jobs):
+            job.normalized_work = nw[j]
+            job.running_seconds = rs[j]
+
+    # -- one lockstep tick ---------------------------------------------------
+
+    def tick(self, tick_index: int, t: float, dt: float, last: bool) -> None:
+        """One control period across the whole fleet."""
+        exps = self._exps
+        n_exp = len(exps)
+        loads: List[float] = [0.0] * n_exp
+        tails: List[float] = [0.0] * n_exp
+        closed: List[bool] = [False] * n_exp
+        want_obs = self._on_tick is not None
+        be_rates: List[float] = [0.0] * n_exp
+
+        # Delegated instances: whole per-instance ticks on the shared
+        # clock (cross-instance order is irrelevant — streams, machines
+        # and pools are per-instance).
+        for i in self._del_idx:
+            exp = exps[i]
+            run0 = next(iter(exp._runs.values()))
+            n_wins = len(run0.metrics.tail._per_window)
+            exp._tick(t, dt)
+            sample = run0.metrics.samples[-1]
+            loads[i] = sample.load
+            tails[i] = sample.tail_ms
+            closed[i] = len(run0.metrics.tail._per_window) > n_wins
+            if want_obs:
+                rate_sum = 0.0
+                for run in exp._runs.values():
+                    rate_sum += run.last_snapshot.total_rate
+                be_rates[i] = rate_sum
+
+        vec = self._vec_idx
+        if not vec:
+            if want_obs:
+                self._on_tick(tick_index, t, loads, closed, tails, be_rates)
+            return
+        M = self._n_machines
+
+        # Phase 0: load windows (per-instance RNG, python).
+        w_load: List[float] = [0.0] * len(vec)
+        w_real: List[float] = [0.0] * len(vec)
+        w_n: List[int] = [0] * len(vec)
+        for vi, i in enumerate(vec):
+            window = exps[i]._begin_tick(t, dt)
+            w_load[vi] = window.load
+            w_real[vi] = window.realized_load
+            w_n[vi] = window.n_samples
+            loads[i] = window.load
+
+        # Rebuild rows invalidated by last tick's applies.
+        if self._dirty:
+            for m in sorted(self._dirty):
+                self._rebuild_row(m)
+            self._dirty.clear()
+
+        # Phase 1a: LC usage and NIC caps, whole fleet at once. Healthy
+        # link (faulted instances are delegated): effective capacity ==
+        # physical link, bitwise.
+        real_m = np.asarray(w_real)[self._m_vi_arr]
+        lc_busy = self._busy_coeff * real_m
+        lc_membw = np.minimum(1.0, self._membw_coeff * real_m)
+        lc_net = self._net_coeff * real_m
+        lc_sent = np.minimum(lc_net, self._link_nic)
+        be_cap = np.maximum(0.0, self._link_nic - self._guard * lc_sent)
+        be_cap_frac = be_cap / self._link_spec
+
+        # Phase 1b: proportional headroom shares. min(1, inf) == 1
+        # covers the scalar "no demand -> scale 1.0" branch.
+        headroom = np.maximum(0.0, 1.0 - lc_membw)
+        quot = np.full(M, np.inf)
+        np.divide(headroom, self._md_total, out=quot, where=self._md_total > 0.0)
+        membw_scale = np.minimum(1.0, quot)
+        quot = np.full(M, np.inf)
+        np.divide(be_cap_frac, self._nd_total, out=quot, where=self._nd_total > 0.0)
+        net_scale = np.minimum(1.0, quot)
+
+        # Phase 1c: Leontief rates, exact BeRateKernel op order.
+        fratio = self._freq / self._f_max
+        ratios = (self._cpu_base * fratio[:, None]) / self._req_cpu
+        ratios = np.minimum(ratios, self._llc_ratio)
+        granted_membw = self._membw * membw_scale[:, None]
+        ratios = np.minimum(
+            ratios,
+            np.where(self._membw_mask, granted_membw / self._membw_div, np.inf),
+        )
+        granted_net = self._net * net_scale[:, None]
+        ratios = np.minimum(
+            ratios,
+            np.where(self._net_mask, granted_net / self._net_div, np.inf),
+        )
+        rate = np.maximum(0.0, np.minimum(1.0, ratios))
+
+        # Padded column sweeps: exact because pads add +0.0 to
+        # non-negative accumulators (np.add.reduceat would not be).
+        membw_used = np.zeros(M)
+        net_used = np.zeros(M)
+        rate_total = np.zeros(M)
+        for j in range(self._jmax):
+            membw_used = membw_used + granted_membw[:, j]
+            net_used = net_used + granted_net[:, j]
+            rate_total = rate_total + rate[:, j]
+        snap_membw = np.minimum(1.0, membw_used)
+        snap_net = np.minimum(1.0, net_used)
+
+        # Phase 1d: pressure -> slowdown -> sigma inflation, python per
+        # machine (x ** gamma and the impact fold must stay python).
+        membw_l = snap_membw.tolist()
+        net_l = snap_net.tolist()
+        real_l = real_m.tolist()
+        busy_l = self._busy_be_l
+        slow_l: List[float] = [1.0] * M
+        infl_l: List[float] = [1.0] * M
+        p_cpu_l = self._p_cpu_l
+        p_llc_l = self._p_llc_l
+        for m in range(M):
+            p_cpu = p_cpu_l[m]
+            p_llc = p_llc_l[m]
+            p_membw = membw_l[m]
+            p_net = net_l[m]
+            # p_freq == 0.0 exactly: the LC DVFS domain is untouched on
+            # healthy machines, so its ratio is bitwise 1.0.
+            coeffs, gamma, beta, hroom, coup, cap = self._pconst[m]
+            if p_cpu == 0.0 and p_llc == 0.0 and p_membw == 0.0 and p_net == 0.0:
+                slow = 1.0
+            else:
+                impact = coeffs[0] * p_cpu**gamma
+                impact = impact + coeffs[1] * p_llc**gamma
+                impact = impact + coeffs[2] * p_membw**gamma
+                impact = impact + coeffs[3] * p_net**gamma
+                impact = impact + coeffs[4] * 0.0**gamma
+                lo = real_l[m]
+                lo = min(max(lo, 0.0), 1.0)
+                amp = 1.0 + beta * lo / (hroom + (1.0 - lo))
+                slow = 1.0 + amp * impact
+            slow_l[m] = slow
+            infl_l[m] = min(cap, 1.0 + coup * (slow - 1.0))
+
+        # Phase 2: latency sampling per instance (per-instance RNG),
+        # tails reduced per (n_samples, percentile) group in one
+        # np.percentile call — bitwise equal per row.
+        groups: Dict[Tuple[int, float], Tuple[List[int], List[np.ndarray]]] = {}
+        for vi, i in enumerate(vec):
+            n = w_n[vi]
+            if n <= 0:
+                continue
+            slowdowns: Dict[str, float] = {}
+            inflations: Dict[str, float] = {}
+            for m in self._inst_machines[vi]:
+                pod = self._m_pod[m]
+                slowdowns[pod] = slow_l[m]
+                inflations[pod] = infl_l[m]
+            lat = self._samplers[vi].sample_e2e(
+                w_real[vi], n, slowdowns, inflations
+            )
+            key = (n, self._tail_pct[vi])
+            bucket = groups.get(key)
+            if bucket is None:
+                bucket = ([], [])
+                groups[key] = bucket
+            bucket[0].append(vi)
+            bucket[1].append(lat)
+        closed_vec = [False] * len(vec)
+        tails_vec = [0.0] * len(vec)
+        for (_n, pct), (vis, lats) in groups.items():
+            if len(lats) == 1:
+                vals = [float(np.percentile(lats[0], pct))]
+            else:
+                vals = np.percentile(np.stack(lats), pct, axis=1).tolist()
+            for vi, tail in zip(vis, vals):
+                closed_vec[vi] = True
+                tails_vec[vi] = tail
+        for vi, i in enumerate(vec):
+            tails[i] = tails_vec[vi]
+            closed[i] = closed_vec[vi]
+
+        # Phase 3: BE progress, in place (elementwise == python floats).
+        self._nw += dt * rate
+        self._rs += dt * self._valid
+
+        # Deferred metrics: integrate now, materialise at end of run.
+        # Counter columns are copied *before* this tick's applies, like
+        # the scalar record_tick.
+        tail_m = np.asarray(tails_vec)[self._m_vi_arr]
+        load_m = np.asarray(w_load)[self._m_vi_arr]
+        busy_total = lc_busy + self._busy_be
+        membw_total = np.minimum(1.0, lc_membw + snap_membw)
+        self._lc_int += load_m * dt
+        self._be_int += rate_total * dt
+        self._cpu_int += np.minimum(busy_total, self._cores_farr) * dt
+        self._membw_int += np.minimum(membw_total, 1.0) * dt
+        self._elapsed += dt
+        self._cols.append(
+            (
+                t,
+                load_m,
+                tail_m,
+                busy_total,
+                membw_total,
+                rate_total,
+                self._cnt_inst.copy(),
+                self._cnt_cores.copy(),
+                self._cnt_ways.copy(),
+                self._njobs.copy(),
+            )
+        )
+        self._wins.append((closed_vec, tails_vec))
+
+        # Phase 4: control — decide is stateful python per machine; the
+        # applies run through the shared subcontrollers, memoized on
+        # (action, version, mem_version) no-op keys.
+        acts: List[str] = [""] * M
+        stop = BeAction.STOP_BE
+        for m in range(M):
+            i = self._m_i[m]
+            exp = exps[i]
+            run = self._m_run[m]
+            machine = self._m_mach[m]
+            action = run.controller.decide(loads[i], tails[i], t=t)
+            filt = exp.action_filter
+            if filt is not None:
+                action = filt(self._m_pod[m], action)
+            run.last_action = action
+            acts[m] = action.value
+            if last:
+                ids = self._row_ids[m]
+                run.last_snapshot = BeResourceSnapshot(
+                    busy_cores=busy_l[m],
+                    membw_fraction=membw_l[m],
+                    llc_demand_fraction=self._llc_dem_l[m],
+                    llc_occupied_fraction=self._llc_occ_l[m],
+                    net_fraction=net_l[m],
+                    rates=dict(zip(ids, rate[m, : len(ids)].tolist())),
+                )
+            memo = self._memo[m]
+            key = (action, machine.version, machine.mem_version)
+            if key in memo:
+                continue
+            self._flush_row(m)
+            v0 = machine.version
+            mv0 = machine.mem_version
+            exp._cpu_llc.apply(action, machine, run.pool)
+            exp._memory.apply(action, machine, run.pool)
+            if action is stop:
+                # STOP reset the BE DVFS domain; mirror it and never
+                # memoize (the key cannot witness this side effect).
+                self._freq[m] = self._f_max_l[m]
+            if machine.version != v0:
+                self._dirty.add(m)
+                self._cnt_inst[m] = machine.be_instance_count
+                self._cnt_cores[m] = machine.be_total_cores
+                self._cnt_ways[m] = machine.be_total_llc_ways
+            elif machine.mem_version == mv0 and action is not stop:
+                memo.add(key)
+        self._acts.append(acts)
+
+        # Phase 5: frequency subcontroller, whole fleet at once. Uses
+        # post-apply BE core counts, exactly like the scalar pass.
+        if self._r3_table is not None:
+            r3 = self._r3_table[(self._freq - self._r3_base) // self._r3_step]
+        else:
+            cache = self._r3_cache
+            vals = []
+            for m, f in enumerate(self._freq.tolist()):
+                mx = self._f_max_l[m]
+                v = cache.get((f, mx))
+                if v is None:
+                    v = (f / mx) ** 3
+                    cache[(f, mx)] = v
+                vals.append(v)
+            r3 = np.asarray(vals)
+        power = self._idle_w + self._active_w * (lc_busy + self._cnt_cores * r3)
+        down = power > self._hi_w
+        up = (~down) & (power < self._lo_w)
+        self._freq = np.where(
+            down,
+            np.maximum(self._f_min, self._freq - self._f_step),
+            np.where(
+                up, np.minimum(self._f_max, self._freq + self._f_step), self._freq
+            ),
+        )
+        self._last_net = lc_net
+
+        if want_obs:
+            rt_l = rate_total.tolist()
+            for vi, i in enumerate(vec):
+                rate_sum = 0.0
+                for m in self._inst_machines[vi]:
+                    rate_sum += rt_l[m]
+                be_rates[i] = rate_sum
+            self._on_tick(tick_index, t, loads, closed, tails, be_rates)
+
+    # -- whole runs ----------------------------------------------------------
+
+    def _tick_times(self) -> List[float]:
+        """The scalar engine's tick schedule, float accumulation and all."""
+        times: List[float] = []
+        t = self._period_s
+        if t <= self._duration_s:
+            times.append(t)
+            while True:
+                nxt = t + self._period_s
+                if nxt > self._duration_s:
+                    break
+                times.append(nxt)
+                t = nxt
+        return times
+
+    def run(self) -> List["ColocationResult"]:
+        """Run every experiment to completion; results in input order."""
+        times = self._tick_times()
+        n_ticks = len(times)
+        lsum = [0.0] * len(self._exps)
+        for k, t in enumerate(times):
+            self.tick(k, t, self._period_s, last=(k == n_ticks - 1))
+            for i, exp in enumerate(self._exps):
+                lsum[i] += min(1.0, max(0.0, exp.pattern.load_at(t)))
+        self._finalize()
+        return [
+            exp._result(lsum[i] / max(1, n_ticks), events_fired=n_ticks)
+            for i, exp in enumerate(self._exps)
+        ]
+
+    def _finalize(self) -> None:
+        """Flush SoA state back into the world objects and metrics."""
+        M = self._n_machines
+        elapsed = self._elapsed
+        lc_l = self._lc_int.tolist()
+        be_l = self._be_int.tolist()
+        cpu_l = self._cpu_int.tolist()
+        mb_l = self._membw_int.tolist()
+        for m in range(M):
+            self._flush_row(m)
+            metrics = self._m_run[m].metrics
+            emu = metrics.emu
+            emu._lc_integral = lc_l[m]
+            emu._be_integral = be_l[m]
+            emu._elapsed = elapsed
+            util = metrics.utilisation
+            util._cpu_integral = cpu_l[m]
+            util._membw_integral = mb_l[m]
+            util._elapsed = elapsed
+        for col, acts in zip(self._cols, self._acts):
+            (t, load_m, tail_m, busy, membw, rate_tot, ci, cc, cw, nj) = col
+            slack = (self._sla_arr - tail_m) / self._sla_arr
+            cpu_u = np.minimum(1.0, busy / self._cores_farr)
+            ll = load_m.tolist()
+            tl = tail_m.tolist()
+            sl = slack.tolist()
+            cl = cpu_u.tolist()
+            mb = membw.tolist()
+            rt = rate_tot.tolist()
+            cil = ci.tolist()
+            ccl = cc.tolist()
+            cwl = cw.tolist()
+            njl = nj.tolist()
+            for m in range(M):
+                self._m_run[m].metrics.samples.append(
+                    TickSample(
+                        t=t,
+                        load=ll[m],
+                        slack=sl[m],
+                        tail_ms=tl[m],
+                        cpu_utilisation=cl[m],
+                        membw_utilisation=mb[m],
+                        be_instances=cil[m],
+                        be_cores=ccl[m],
+                        be_llc_ways=cwl[m],
+                        # An empty rates dict sums to the *int* 0 on the
+                        # scalar path (sum of no floats) — match it so
+                        # fingerprint reprs stay bitwise identical.
+                        be_rate=rt[m] if njl[m] else 0,
+                        action=acts[m],
+                    )
+                )
+        for vi, rows in enumerate(self._inst_machines):
+            window_tails = [tl[vi] for (cv, tl) in self._wins if cv[vi]]
+            for m in rows:
+                tracker = self._m_run[m].metrics.tail
+                for tail in window_tails:
+                    tracker.record_window_tail(tail)
+        # Sync the hardware observables (DVFS frequency, NIC caps) so
+        # post-run machine state matches a scalar run's.
+        freq_l = self._freq.tolist()
+        net_l = self._last_net.tolist() if self._last_net is not None else None
+        for m in range(M):
+            machine = self._m_mach[m]
+            if freq_l[m] >= self._f_max_l[m]:
+                machine.dvfs.reset(BE_DOMAIN)
+            else:
+                machine.dvfs.set_frequency(BE_DOMAIN, freq_l[m])
+            if net_l is not None:
+                machine.nic.observe_lc_traffic(net_l[m])

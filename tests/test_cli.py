@@ -52,6 +52,31 @@ class TestCommands:
         assert "master" in out
 
 
+class TestFleetCli:
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.machines == 1000
+        assert args.shards == 4
+        assert args.violation_threshold is None
+        assert args.policies == ["rhythm", "heracles"]
+
+    def test_fleet_runs_small(self, capsys, tmp_path):
+        out_file = tmp_path / "fleet.json"
+        assert main([
+            "fleet", "--machines", "4", "--duration", "20",
+            "--shards", "2", "--workers", "1", "--seed", "3",
+            "--zone-size", "1", "--policies", "heracles",
+            "--json", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "heracles" in out and "Fleet" in out
+        import json as _json
+
+        report = _json.loads(out_file.read_text())
+        assert report["heracles"]["machines"] >= 4
+        assert report["heracles"]["digest"]
+
+
 class TestCacheCli:
     def test_grid_cache_flag_defaults_on(self):
         args = build_parser().parse_args(["grid", "servpod"])

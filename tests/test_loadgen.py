@@ -12,6 +12,8 @@ from repro.loadgen.patterns import (
     CallableLoad,
     ConstantLoad,
     DiurnalLoad,
+    FlashCrowdLoad,
+    ReplayLoad,
     StepLoad,
     SweepLoad,
 )
@@ -55,6 +57,63 @@ class TestPatterns:
     def test_callable_clamps(self):
         p = CallableLoad(lambda t: 2.0)
         assert p.load_at(0) == 1.0
+
+    def test_flash_crowd_ramp_and_decay(self):
+        p = FlashCrowdLoad(ConstantLoad(0.3), [(100.0, 0.4, 20.0, 50.0)])
+        assert p.load_at(50.0) == 0.3  # before the crowd
+        assert p.load_at(110.0) == pytest.approx(0.5)  # halfway up the ramp
+        assert p.load_at(120.0) == pytest.approx(0.7)  # peak
+        decayed = p.load_at(170.0)
+        assert 0.3 < decayed < 0.7  # exponential tail
+        assert p.load_at(120.0 + 50.0) == pytest.approx(
+            0.3 + 0.4 * np.exp(-1.0)
+        )
+
+    def test_flash_crowd_clamps_at_saturation(self):
+        p = FlashCrowdLoad(ConstantLoad(0.8), [(0.0, 0.5, 10.0, 10.0)])
+        assert p.load_at(10.0) == 1.0
+
+    def test_flash_crowd_overlapping_crowds_sum(self):
+        p = FlashCrowdLoad(
+            ConstantLoad(0.1),
+            [(0.0, 0.2, 10.0, 1e9), (5.0, 0.2, 10.0, 1e9)],
+        )
+        # At t=15 the first crowd is at peak, the second at peak too
+        # (decay constants are huge, so nothing has decayed yet).
+        assert p.load_at(15.0) == pytest.approx(0.5)
+
+    def test_flash_crowd_validation(self):
+        base = ConstantLoad(0.3)
+        with pytest.raises(ConfigurationError):
+            FlashCrowdLoad(base, [(0.0, 0.4, 20.0)])
+        with pytest.raises(ConfigurationError):
+            FlashCrowdLoad(base, [(-1.0, 0.4, 20.0, 50.0)])
+        with pytest.raises(ConfigurationError):
+            FlashCrowdLoad(base, [(0.0, 1.5, 20.0, 50.0)])
+        with pytest.raises(ConfigurationError):
+            FlashCrowdLoad(base, [(0.0, 0.4, 0.0, 50.0)])
+
+    def test_replay_levels_and_clamp(self):
+        p = ReplayLoad([0.2, 0.6, 0.4], interval_s=10.0)
+        assert p.load_at(-5.0) == 0.2
+        assert p.load_at(0.0) == 0.2
+        assert p.load_at(10.0) == 0.6
+        assert p.load_at(29.9) == 0.4
+        assert p.load_at(1e6) == 0.4  # clamps to the last level
+
+    def test_replay_loop_wraps(self):
+        p = ReplayLoad([0.2, 0.6], interval_s=10.0, loop=True)
+        assert p.load_at(20.0) == 0.2
+        assert p.load_at(30.0) == 0.6
+        assert p.load_at(1e6) in (0.2, 0.6)
+
+    def test_replay_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReplayLoad([], interval_s=10.0)
+        with pytest.raises(ConfigurationError):
+            ReplayLoad([0.5], interval_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ReplayLoad([1.5], interval_s=10.0)
 
 
 class TestClarkNet:
