@@ -30,6 +30,7 @@ import tempfile
 import time
 from typing import Dict, List, Optional
 
+from bench_env import environment
 from repro.bejobs.catalog import evaluation_be_jobs
 from repro.cache import CacheStore
 from repro.experiments.colocation import ColocationConfig
@@ -106,7 +107,7 @@ def run_benchmark(
                 "simulations": 2 * len(cells),
                 "duration_s_per_cell": BENCH_DURATION_S,
             },
-            "cpu_count": os.cpu_count(),
+            **environment(),
             "cold_s": round(cold_s, 4),
             "warm_s": round(warm_s, 4),
             "speedup": round(cold_s / warm_s, 1) if warm_s > 0 else None,

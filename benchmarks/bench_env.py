@@ -1,0 +1,28 @@
+"""Shared environment fields for every ``BENCH_*.json`` report.
+
+Every benchmark emitter records the detected CPU count next to the
+``degraded`` flag, so a 1-core container masking parallel speedups (or
+rendering single-core gates conservative) is machine-readable in every
+report, not just the parallel ones.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+
+def environment(parallel_speedup: Optional[float] = None) -> Dict[str, object]:
+    """The ``cpu_count``/``degraded`` pair for one benchmark report.
+
+    A host without spare cores cannot speed anything up: a sub-1x
+    parallel "speedup" there is pool overhead, not a regression.
+    ``degraded`` flags both conditions (fewer than two cores, or a
+    measured parallel speedup below 1x) so downstream consumers never
+    read the numbers as a real slowdown.
+    """
+    cpu_count = os.cpu_count() or 1
+    degraded = cpu_count < 2 or (
+        parallel_speedup is not None and parallel_speedup < 1.0
+    )
+    return {"cpu_count": cpu_count, "degraded": degraded}

@@ -34,6 +34,7 @@ import multiprocessing
 import time
 from typing import Dict, List, Optional, Tuple
 
+from bench_env import environment
 from repro.experiments.fleet import (
     FleetConfig,
     FleetExperiment,
@@ -175,45 +176,80 @@ def _shard_invariance() -> Dict[str, object]:
 
 
 def _fleet_run(workers: Optional[int]) -> Dict[str, object]:
-    """The >=1,000-machine Rhythm-vs-Heracles end-to-end run."""
+    """The >=1,000-machine Rhythm-vs-Heracles end-to-end run.
+
+    Runs against a private zone-granular :class:`CacheStore` so the
+    report also carries the fleet cache accounting at scale: both
+    policy runs are cold (every zone a miss), and the shards=3
+    invariance re-run of the heracles fleet is warm — zero simulated
+    zones, same digest, despite the different sharding.
+    """
+    import shutil
+    import tempfile
+
+    from repro.cache import CacheStore
+
+    cache_dir = tempfile.mkdtemp(prefix="rhythm-bench-fleet-")
+    store = CacheStore(directory=cache_dir)
     policies: Dict[str, Dict[str, object]] = {}
-    for policy in ("rhythm", "heracles"):
-        fleet = alibaba_fleet(
+    try:
+        for policy in ("rhythm", "heracles"):
+            fleet = alibaba_fleet(
+                FLEET_MACHINES,
+                policy=policy,
+                duration_s=FLEET_DURATION_S,
+                seed=0,
+                config=FleetConfig(
+                    duration_s=FLEET_DURATION_S, shards=8, workers=workers
+                ),
+            )
+            t0 = time.perf_counter()
+            result = fleet.run(cache=store)
+            elapsed = time.perf_counter() - t0
+            policies[policy] = {
+                "machines": result.n_machines,
+                "instances": result.n_instances,
+                "events_fired": result.events_fired,
+                "be_throughput": round(result.be_throughput, 4),
+                "emu": round(result.emu, 4),
+                "sla_violations": result.sla_violations,
+                "sla_violation_rate": round(result.sla_violation_rate, 5),
+                "wall_s": round(elapsed, 2),
+                "digest": result.digest,
+                "cache": {
+                    "hits": result.cache.hits,
+                    "misses": result.cache.misses,
+                    "skipped": result.cache.skipped,
+                },
+            }
+        # Full-scale shard invariance: the cheaper policy, twice. The
+        # re-run is deliberately differently sharded AND warm: zone
+        # entries are shard-count-invariant, so it must reproduce the
+        # cold digest from the store alone.
+        fleet2 = alibaba_fleet(
             FLEET_MACHINES,
-            policy=policy,
+            policy="heracles",
             duration_s=FLEET_DURATION_S,
             seed=0,
             config=FleetConfig(
-                duration_s=FLEET_DURATION_S, shards=8, workers=workers
+                duration_s=FLEET_DURATION_S, shards=3, workers=workers
             ),
         )
-        t0 = time.perf_counter()
-        result = fleet.run()
-        elapsed = time.perf_counter() - t0
-        policies[policy] = {
-            "machines": result.n_machines,
-            "instances": result.n_instances,
-            "events_fired": result.events_fired,
-            "be_throughput": round(result.be_throughput, 4),
-            "emu": round(result.emu, 4),
-            "sla_violations": result.sla_violations,
-            "sla_violation_rate": round(result.sla_violation_rate, 5),
-            "wall_s": round(elapsed, 2),
-            "digest": result.digest,
+        warm = fleet2.run(cache=store)
+        shard_invariant = warm.digest == policies["heracles"]["digest"]
+        warm_cache = {
+            "hits": warm.cache.hits,
+            "misses": warm.cache.misses,
+            "skipped": warm.cache.skipped,
+            "zero_simulations": warm.cache.simulated == 0,
         }
-    # Full-scale shard invariance: the cheaper policy, twice.
-    fleet2 = alibaba_fleet(
-        FLEET_MACHINES,
-        policy="heracles",
-        duration_s=FLEET_DURATION_S,
-        seed=0,
-        config=FleetConfig(duration_s=FLEET_DURATION_S, shards=3, workers=workers),
-    )
-    shard_invariant = fleet2.run().digest == policies["heracles"]["digest"]
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
     return {
         "duration_s": FLEET_DURATION_S,
         "policies": policies,
         "shard_invariant_at_scale": shard_invariant,
+        "warm_rerun_cache": warm_cache,
     }
 
 
@@ -266,6 +302,7 @@ def run_benchmark(
     )
     report: Dict[str, object] = {
         "benchmark": "fleet_kernel",
+        **environment(),
         "reference_scale": reference,
         "default_config": default_cfg,
         "identity_checks": {

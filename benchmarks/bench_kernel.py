@@ -31,6 +31,7 @@ import multiprocessing
 import time
 from typing import Dict, Optional, Tuple
 
+from bench_env import environment
 from repro.baselines.heracles import heracles_controllers
 from repro.bejobs.catalog import evaluation_be_jobs
 from repro.experiments.colocation import ColocationConfig, ColocationExperiment
@@ -42,11 +43,17 @@ from repro.workloads.catalog import redis_service
 from repro.workloads.queueing import QueueingComponent
 
 #: Per-workload sizing. The colocation cell runs the full control loop
-#: at the paper's 2 s period; the queue runs at 70% of an 8-worker
-#: component's capacity, which yields ~10^5 events per simulated minute.
-COLOCATION_DURATION_S = 600.0
+#: at the paper's 2 s period — 40 simulated minutes so the tick path
+#: dominates the fixed deploy/profile setup cost; the queue runs at 70%
+#: of an 8-worker component's capacity, which yields ~10^5 events per
+#: simulated minute.
+COLOCATION_DURATION_S = 2400.0
 QUEUE_DURATION_S = 120.0
 QUEUE_LOAD = 0.7
+#: Timing repeats per (workload, kernel); the reported time is the
+#: minimum, the standard estimator for a deterministic workload's cost
+#: on a noisy machine. Identity is still checked on every repeat.
+TIMING_REPEATS = 3
 DEFAULT_REPORT = "BENCH_kernel.json"
 DEFAULT_GATE = None
 
@@ -121,9 +128,21 @@ def run_benchmark(
     identical = True
     total = {"scalar_s": 0.0, "batched_s": 0.0, "events": 0}
 
+    def timed_best_of(runner, kernel):
+        """Best-of-``TIMING_REPEATS`` timing; every repeat must agree."""
+        best_s, events, print_ = runner(kernel)
+        for _ in range(TIMING_REPEATS - 1):
+            s, ev, p = runner(kernel)
+            if (ev, p) != (events, print_):
+                raise AssertionError(
+                    f"{kernel} kernel was not deterministic across repeats"
+                )
+            best_s = min(best_s, s)
+        return best_s, events, print_
+
     for name, runner in (("colocation", _run_colocation), ("queueing", _run_queueing)):
-        scalar_s, scalar_events, scalar_print = runner("scalar")
-        batched_s, batched_events, batched_print = runner("batched")
+        scalar_s, scalar_events, scalar_print = timed_best_of(runner, "scalar")
+        batched_s, batched_events, batched_print = timed_best_of(runner, "batched")
         same = scalar_print == batched_print and scalar_events == batched_events
         identical = identical and same
         workloads[name] = {
@@ -160,6 +179,7 @@ def run_benchmark(
     )
     report: Dict[str, object] = {
         "benchmark": "simulation_kernel",
+        **environment(),
         "workloads": workloads,
         "sim_events": total["events"],
         "scalar_s": round(total["scalar_s"], 4),

@@ -25,6 +25,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro.bejobs.catalog import evaluation_be_jobs
+from bench_env import environment
 from repro.experiments.colocation import ColocationConfig
 from repro.parallel.grid import (
     GridCell,
@@ -91,12 +92,10 @@ def run_benchmark(
         comparison_fingerprint(r) for r in parallel
     ]
     events = sum(r.rhythm.events_fired + r.heracles.events_fired for r in serial)
-    cpu_count = os.cpu_count() or 1
     speedup = round(serial_s / parallel_s, 3) if parallel_s > 0 else None
-    # A host without spare cores cannot speed anything up: a sub-1x
-    # "speedup" there is pool overhead, not a regression. Flag it so
-    # downstream consumers never read the number as a real slowdown.
-    degraded = cpu_count < 2 or (speedup is not None and speedup < 1.0)
+    env = environment(parallel_speedup=speedup)
+    cpu_count = env["cpu_count"]
+    degraded = env["degraded"]
     from repro.sim.kernel import resolve_kernel
 
     report: Dict[str, object] = {

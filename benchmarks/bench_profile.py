@@ -31,6 +31,7 @@ import tempfile
 import time
 from typing import Dict, List, Optional
 
+from bench_env import environment
 from repro.cache.store import CacheStore
 from repro.parallel.pool import get_pool, shutdown_pool
 from repro.parallel.profile import (
@@ -95,9 +96,10 @@ def run_benchmark(
 
     identical = serial == parallel == cold == warm
     warm_executed = warm_stats.sweep_executed + warm_stats.slack_executed
-    cpu_count = os.cpu_count() or 1
     speedup = round(serial_s / parallel_s, 3) if parallel_s > 0 else None
-    degraded = cpu_count < 2 or (speedup is not None and speedup < 1.0)
+    env = environment(parallel_speedup=speedup)
+    cpu_count = env["cpu_count"]
+    degraded = env["degraded"]
     from repro.sim.kernel import resolve_kernel
 
     report: Dict[str, object] = {

@@ -23,7 +23,11 @@ Runs, in order:
 6. the fleet smoke: a small mixed fleet through the fleet SoA kernel,
    asserting bit-identity with the sequential scalar reference and
    shard-count invariance, then
-7. the tier-1 test suite (``pytest -x -q`` over ``tests/``).
+7. the fleet cache smoke: the same fleet cold-then-warm against a
+   throwaway disk cache, asserting the warm run executes zero
+   simulations, reproduces the cold ``FleetResult.digest``
+   bit-identically, and still hits every entry after resharding, then
+8. the tier-1 test suite (``pytest -x -q`` over ``tests/``).
 
 Exit code is non-zero on any failure, so CI can gate pool-runner and
 cache regressions without paying for the full figure grids. Usage::
@@ -357,6 +361,58 @@ def smoke_fleet() -> None:
     )
 
 
+def smoke_fleet_cache() -> None:
+    """The fleet cold/warm cache round trip.
+
+    A small fleet cold-then-warm against a throwaway disk cache: the
+    warm run must execute zero simulations and reproduce the cold run's
+    ``FleetResult.digest`` bit-identically, and a resharded re-run of
+    the same fleet must still hit every per-zone entry (the shard count
+    is not a cache-key coordinate).
+    """
+    import dataclasses
+    import shutil
+    import tempfile
+
+    from repro.cache import CacheStore
+    from repro.experiments.fleet import FleetConfig, FleetExperiment, alibaba_fleet
+
+    config = FleetConfig(duration_s=30.0, shards=2, workers=1, zone_size=2)
+    fleet = alibaba_fleet(
+        8, policy="heracles", duration_s=30.0, seed=5, config=config
+    )
+    cache_dir = tempfile.mkdtemp(prefix="rhythm-smoke-fleet-cache-")
+    try:
+        store = CacheStore(cache_dir)
+        t0 = time.perf_counter()
+        cold = fleet.run(cache=store)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = fleet.run(cache=store)
+        warm_s = time.perf_counter() - t0
+        resharded = FleetExperiment(
+            fleet.instances, dataclasses.replace(config, shards=1)
+        ).run(cache=store)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    if warm.cache.simulated != 0:
+        raise AssertionError(
+            f"warm fleet re-run executed simulations: "
+            f"{warm.cache.misses} misses, {warm.cache.skipped} skipped"
+        )
+    if warm.digest != cold.digest:
+        raise AssertionError("warm fleet digest diverged from the cold run")
+    if resharded.cache.simulated != 0 or resharded.digest != cold.digest:
+        raise AssertionError(
+            "resharded fleet re-run missed the per-zone cache entries"
+        )
+    print(
+        f"smoke fleet cache OK: {cold.cache.total} zones, "
+        f"cold {cold_s:.1f}s -> warm {warm_s:.3f}s, zero simulations "
+        f"warm, shard-count invariant, bit-identical digest"
+    )
+
+
 def run_tier1() -> int:
     """The repo's tier-1 suite, exactly as the roadmap invokes it."""
     env = dict(**__import__("os").environ)
@@ -382,6 +438,7 @@ def main() -> int:
     smoke_chaos()
     smoke_kernel()
     smoke_fleet()
+    smoke_fleet_cache()
     if args.skip_tests:
         return 0
     return run_tier1()

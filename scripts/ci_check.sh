@@ -13,9 +13,11 @@
 #      cold/warm grid cache round trip, and the chaos smoke: a crash
 #      storm that must leave results bit-identical with retry counters
 #      matching the injected crashes, plus a tiny cluster fault storm,
-#      the scalar-vs-batched kernel identity smoke, and the fleet
+#      the scalar-vs-batched kernel identity smoke, the fleet
 #      smoke: a mixed fleet bit-identical to the sequential scalar
-#      reference and invariant to the shard count)
+#      reference and invariant to the shard count, and the fleet cache
+#      smoke: a warm fleet re-run must execute zero simulations and
+#      reproduce the cold run's FleetResult.digest)
 #      from scripts/bench_smoke.py, then
 #   3. (opt-in, RHYTHM_BENCH_GATE=1) the full kernel benchmark with a 5x
 #      aggregate-speedup gate (benchmarks/bench_kernel.py --gate 5.0)

@@ -53,9 +53,14 @@ from repro.errors import CacheKeyError
 #: bit-exact by the identity tests, so :4 entries stay valid. The fleet
 #: zone governor also never enters keys — it acts through the
 #: ``action_filter`` hook, a post-construction runtime attribute
-#: (default ``None``) on ColocationExperiment, not a config field, and
-#: fleet runs are not cached as cells.
-CODE_VERSION_SALT = "rhythm-repro-cache:4"
+#: (default ``None``) on ColocationExperiment, not a config field.
+#: :5 — fleet runs now ARE cached (per-zone ``fleet-zone`` entries, see
+#: :func:`repro.experiments.fleet.zone_cache_key`) and the colocation
+#: tick path was rewritten (small-fleet python tick, partition-based
+#: percentiles, cumsum folds). The rewrite is pinned bit-identical, but
+#: :4 entries predate the pin and the store now carries a new entry
+#: family, so every :4 entry must miss.
+CODE_VERSION_SALT = "rhythm-repro-cache:5"
 
 _PRIMITIVE_TAGS = {
     type(None): b"N",

@@ -375,8 +375,15 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     """Run a sharded Rhythm-vs-Heracles fleet on the Alibaba-shaped trace."""
     import time
 
-    from repro.experiments.fleet import FleetConfig, alibaba_fleet
+    from repro.cache import default_store
+    from repro.experiments.fleet import (
+        FleetCacheStats,
+        FleetConfig,
+        alibaba_fleet,
+    )
 
+    cache = default_store() if args.cache else None
+    cache_stats = FleetCacheStats() if cache is not None else None
     config = FleetConfig(
         duration_s=args.duration,
         shards=args.shards,
@@ -396,8 +403,10 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             config=config,
         )
         start = time.perf_counter()
-        result = fleet.run()
+        result = fleet.run(cache=cache)
         elapsed = time.perf_counter() - start
+        if cache_stats is not None and result.cache is not None:
+            cache_stats.merge(result.cache)
         rows.append([
             policy,
             result.n_machines,
@@ -420,12 +429,23 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             "zone_records": len(result.zone_records),
             "wall_seconds": elapsed,
         }
+        if result.cache is not None:
+            reports[policy]["cache"] = {
+                "hits": result.cache.hits,
+                "misses": result.cache.misses,
+                "skipped": result.cache.skipped,
+            }
     print(render_table(
         ["Policy", "Machines", "BE tput", "EMU", "SLA viols", "viol rate", "wall"],
         rows,
         title=f"Fleet — {args.duration:.0f}s simulated, "
               f"{args.shards} shard(s), seed {args.seed}",
     ))
+    if cache_stats is not None:
+        print(
+            f"cache: {cache_stats.hits} hits, {cache_stats.misses} misses, "
+            f"{cache_stats.skipped} uncached of {cache_stats.total} zones"
+        )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(reports, fh, indent=2)
@@ -556,6 +576,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policies", nargs="*", default=["rhythm", "heracles"],
                    choices=["rhythm", "heracles"],
                    help="controller policies to run (default: both)")
+    p.add_argument("--cache", action=argparse.BooleanOptionalAction, default=True,
+                   help="reuse cached per-zone fleet results and cache new "
+                        "ones (also honors RHYTHM_CACHE=off)")
     p.add_argument("--json", default=None, help="dump the fleet report here")
     p.set_defaults(fn=cmd_fleet)
 

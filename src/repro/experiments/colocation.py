@@ -242,6 +242,22 @@ class ColocationExperiment:
     def run(self) -> ColocationResult:
         """Advance the full experiment and return its result."""
         cfg = self.config
+        if (
+            self._batched is not None
+            and self._fault_injector is None
+            and self._tail_estimator is None
+        ):
+            # Healthy batched runs take the fleet SoA tick path — the
+            # same vectorized phases a fleet shard uses, degenerate at
+            # one instance. Bit-identical to the engine-driven loop
+            # (tests/test_kernel_identity.py pins it), and the tick
+            # schedule reproduces the engine's float accumulation, so
+            # events_fired matches too. Faulted or histogram-estimator
+            # runs keep the per-instance kernel: the fleet path
+            # delegates those whole-tick anyway.
+            from repro.sim.kernel import FleetColocationKernel
+
+            return FleetColocationKernel([self]).run()[0]
         engine = Engine()
         load_sum = [0.0]
         ticks = [0]

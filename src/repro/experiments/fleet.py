@@ -23,6 +23,18 @@ never changes results. The latter holds by construction:
 With ``violation_threshold=None`` (the default) the governor is off
 and the fleet is exactly the sequential reference, which is what the
 identity tests pin.
+
+**Incremental runs.** :meth:`FleetExperiment.run` memoizes per *zone*
+— the shard-count-invariant unit of work — in the content-addressed
+:class:`~repro.cache.store.CacheStore`. Each zone's entry is keyed by
+:func:`zone_cache_key` over exactly the inputs that determine its
+results (the zone's instance specs and the result-affecting
+``FleetConfig`` fields); ``shards``, ``workers`` and the kernel choice
+are deliberately NOT coordinates. A warm re-run of an unchanged fleet
+therefore executes zero simulations under any sharding, and editing
+one zone (a spec tweak, an added instance) re-simulates only the
+zones whose keys changed. :class:`FleetCacheStats` on the returned
+:class:`FleetResult` reports the hit/miss/skipped split.
 """
 
 from __future__ import annotations
@@ -30,16 +42,17 @@ from __future__ import annotations
 import hashlib
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.cache import CacheStore, stable_hash
 from repro.core.actions import BeAction
 from repro.core.top_controller import (
     CONTROL_PERIOD_S,
     ControllerThresholds,
     TopController,
 )
-from repro.errors import ConfigurationError, ExperimentError
+from repro.errors import CacheKeyError, ConfigurationError, ExperimentError
 from repro.experiments.colocation import (
     ColocationConfig,
     ColocationExperiment,
@@ -53,7 +66,9 @@ from repro.parallel.pool import (
     resolve_ref,
     resolve_workers,
     run_envelopes,
+    shard_task_key,
 )
+from repro.parallel.profile import resolve_store
 from repro.sim.kernel import FleetColocationKernel
 from repro.sim.rng import RandomStreams
 from repro.workloads.catalog import lc_service_spec
@@ -218,12 +233,46 @@ class ZoneEpochRecord:
 
 
 @dataclass
+class FleetCacheStats:
+    """Cache outcome counts of one :meth:`FleetExperiment.run`.
+
+    The unit is a *zone* (the shard-count-invariant slice of the
+    fleet): ``hits`` zones were served from the store without
+    simulating, ``misses`` were simulated and stored, ``skipped`` were
+    simulated but not cached (no store, or an uncacheable spec such as
+    a load pattern wrapping a bare callable).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    skipped: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total zones the run covered."""
+        return self.hits + self.misses + self.skipped
+
+    @property
+    def simulated(self) -> int:
+        """Zones that actually ran the kernel (everything but hits)."""
+        return self.misses + self.skipped
+
+    def merge(self, other: "FleetCacheStats") -> None:
+        """Accumulate another run's counts into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.skipped += other.skipped
+
+
+@dataclass
 class FleetResult:
     """Outcome of one fleet run."""
 
     duration_s: float
     instances: List[FleetInstanceSummary]
     zone_records: List[ZoneEpochRecord] = field(default_factory=list)
+    #: Zone-level cache accounting, or None when the run was uncached.
+    cache: Optional[FleetCacheStats] = None
 
     @property
     def n_instances(self) -> int:
@@ -286,8 +335,52 @@ class _FleetPayload:
 
     instances: Tuple[FleetInstanceSpec, ...]
     config: FleetConfig
-    #: Per shard: (first instance index, count). Always zone-aligned.
-    shard_plan: Tuple[Tuple[int, int], ...]
+    #: Per shard: (first instance index, count) spans to simulate.
+    #: Always zone-aligned; an incremental run's spans skip cached
+    #: zones, so a shard's spans need not be contiguous or cover the
+    #: fleet.
+    shard_plan: Tuple[Tuple[Tuple[int, int], ...], ...]
+
+
+def zone_cache_key(
+    specs: Sequence[FleetInstanceSpec], config: FleetConfig
+) -> str:
+    """The content address of one zone's fleet results.
+
+    Hashes exactly what a zone's instance summaries and epoch records
+    depend on: the zone's instance specs (service, policies, BE jobs,
+    load pattern, seed, fault schedule) and the result-affecting
+    :class:`FleetConfig` fields. Deliberately NOT key coordinates:
+
+    - ``shards`` / ``workers`` — pure wall-clock knobs; 1/2/4/8-way
+      shardings of the same fleet must hit the same per-zone entries;
+    - ``zone_size`` — zone *membership* is already captured by which
+      specs are hashed together, and the governor (the only
+      cross-instance coupling) acts on exactly that member set;
+    - the kernel choice (``RHYTHM_KERNEL``) — pinned bit-identical to
+      the scalar reference, same policy as grid-cell keys;
+    - ``epoch_ticks`` when the governor is off — with
+      ``violation_threshold=None`` no epoch boundary can affect
+      results, so retuning it must not invalidate entries.
+
+    Raises :class:`~repro.errors.CacheKeyError` for unhashable specs
+    (e.g. a load pattern wrapping a bare callable); such zones simply
+    run uncached.
+    """
+    governed = config.violation_threshold is not None
+    return stable_hash(
+        (
+            "fleet-zone",
+            tuple(specs),
+            config.duration_s,
+            config.control_period_s,
+            config.sample_cap,
+            config.min_samples,
+            config.max_be_instances,
+            config.violation_threshold,
+            config.epoch_ticks if governed else None,
+        )
+    )
 
 
 def _build_experiment(
@@ -450,25 +543,34 @@ def _shard_zones(
     return zones
 
 
-def _run_fleet_shard(ref, shard_index: int) -> Tuple[
-    List[FleetInstanceSummary], List[ZoneEpochRecord]
+def _run_fleet_shard(ref, shard_index: int) -> List[
+    Tuple[int, List[FleetInstanceSummary], List[ZoneEpochRecord]]
 ]:
-    """Run one shard's instances through the fleet kernel (pool task).
+    """Run one shard's zone spans through the fleet kernel (pool task).
 
     Module-level and driven purely by the broadcast payload, so it is
     picklable by reference and bit-identical under fork, spawn, and the
-    inline (workers<=1) path.
+    inline (workers<=1) path. Returns the results *grouped by zone* —
+    ``(zone id, summaries, epoch records)`` per zone — so the parent
+    can store each zone under its own cache key.
     """
     payload: _FleetPayload = resolve_ref(ref)
-    start, count = payload.shard_plan[shard_index]
     config = payload.config
-    specs = payload.instances[start : start + count]
+    specs: List[FleetInstanceSpec] = []
+    indexes: List[int] = []
+    zones: List[Tuple[int, List[int]]] = []
+    for start, count in payload.shard_plan[shard_index]:
+        base = len(specs)
+        specs.extend(payload.instances[start : start + count])
+        indexes.extend(range(start, start + count))
+        for zid, members in _shard_zones(start, count, config.zone_size):
+            zones.append((zid, [base + m for m in members]))
     experiments = [_build_experiment(spec, config) for spec in specs]
     governor: Optional[_ZoneGovernor] = None
     if config.violation_threshold is not None:
         governor = _ZoneGovernor(
             experiments,
-            _shard_zones(start, count, config.zone_size),
+            zones,
             config.epoch_ticks,
             config.violation_threshold,
             config.control_period_s,
@@ -478,10 +580,18 @@ def _run_fleet_shard(ref, shard_index: int) -> Tuple[
     )
     results = kernel.run()
     summaries = [
-        _summarise(start + j, specs[j], experiments[j], results[j])
-        for j in range(count)
+        _summarise(indexes[j], specs[j], experiments[j], results[j])
+        for j in range(len(specs))
     ]
-    return summaries, governor.records if governor else []
+    records = governor.records if governor else []
+    return [
+        (
+            zid,
+            [summaries[m] for m in members],
+            [r for r in records if r.zone == zid],
+        )
+        for zid, members in zones
+    ]
 
 
 # -- the fleet experiment -------------------------------------------------
@@ -522,32 +632,168 @@ class FleetExperiment:
             zone_start += z
         return plan
 
-    def run(self) -> FleetResult:
-        """Run every shard (pooled when workers allow) and aggregate."""
-        plan = tuple(self.shard_plan())
-        payload = _FleetPayload(
-            instances=tuple(self.instances),
-            config=self.config,
-            shard_plan=plan,
-        )
-        ref = broadcast(payload)
-        envelopes = [
-            Envelope(fn=_run_fleet_shard, args=(ref, k), refs=(ref,))
-            for k in range(len(plan))
+    def zone_plan(self) -> List[Tuple[int, int, int]]:
+        """(zone id, first instance index, count) per zone, complete."""
+        cfg = self.config
+        n = len(self.instances)
+        plan: List[Tuple[int, int, int]] = []
+        for zid in range(math.ceil(n / cfg.zone_size)):
+            start = zid * cfg.zone_size
+            plan.append((zid, start, min(n, start + cfg.zone_size) - start))
+        return plan
+
+    def _zone_key(self, start: int, count: int) -> Optional[str]:
+        """One zone's cache key, or None when its specs are unhashable."""
+        try:
+            return zone_cache_key(
+                self.instances[start : start + count], self.config
+            )
+        except CacheKeyError:
+            return None
+
+    def _load_zone(
+        self, store: CacheStore, key: str, zid: int, start: int, count: int
+    ) -> Optional[Tuple[List[FleetInstanceSummary], List[ZoneEpochRecord]]]:
+        """Fetch one zone from the store, rebased to its current slot.
+
+        Entries hold summaries with zone-*local* indices and epoch
+        records with the zone id stripped, so the same entry serves the
+        zone wherever it currently sits in the fleet. Rebasing cannot
+        perturb digests: :func:`instance_digest` folds only the result
+        fingerprint and RNG states, never the global index.
+        """
+        cached = store.get(key)
+        if (
+            not isinstance(cached, tuple)
+            or len(cached) != 2
+            or len(cached[0]) != count
+        ):
+            return None
+        summaries = [
+            replace(s, index=start + j) for j, s in enumerate(cached[0])
         ]
-        workers = min(resolve_workers(self.config.workers), len(plan))
-        shard_results = run_envelopes(envelopes, workers=workers)
+        records = [
+            ZoneEpochRecord(
+                zone=zid, epoch=e, t=t, violation_fraction=f, clamped=c
+            )
+            for e, t, f, c in cached[1]
+        ]
+        return summaries, records
+
+    def _pending_shard_plan(
+        self, pending: Sequence[Tuple[int, int, int, Optional[str]]]
+    ) -> Tuple[Tuple[Tuple[int, int], ...], ...]:
+        """Distribute the pending zones over at most ``config.shards``.
+
+        Zones spread as evenly as the full-fleet :meth:`shard_plan`
+        does; adjacent zones inside one shard merge into a single span.
+        On a cold run with every zone pending this reproduces the
+        historical contiguous plan exactly.
+        """
+        shards = min(self.config.shards, len(pending))
+        base, extra = divmod(len(pending), shards)
+        plan: List[Tuple[Tuple[int, int], ...]] = []
+        pos = 0
+        for k in range(shards):
+            group = pending[pos : pos + base + (1 if k < extra else 0)]
+            pos += len(group)
+            spans: List[Tuple[int, int]] = []
+            for _zid, start, count, _key in group:
+                if spans and spans[-1][0] + spans[-1][1] == start:
+                    spans[-1] = (spans[-1][0], spans[-1][1] + count)
+                else:
+                    spans.append((start, count))
+            plan.append(tuple(spans))
+        return tuple(plan)
+
+    def run(
+        self, cache: Union[None, bool, CacheStore] = None
+    ) -> FleetResult:
+        """Run the fleet, serving cached zones and simulating the rest.
+
+        ``cache`` follows the grid convention: ``None``/``False`` run
+        uncached, ``True`` uses the environment-default store
+        (``RHYTHM_CACHE{,_DIR,_MAX_BYTES}``), a :class:`CacheStore` is
+        used as given. Pending zones are distributed over at most
+        ``config.shards`` pool shards; a fully warm run executes zero
+        simulations and reproduces the cold digest bit-identically.
+        """
+        store = resolve_store(cache)
+        stats = FleetCacheStats() if store is not None else None
         summaries: List[FleetInstanceSummary] = []
         zone_records: List[ZoneEpochRecord] = []
-        for shard_summaries, shard_zones in shard_results:
-            summaries.extend(shard_summaries)
-            zone_records.extend(shard_zones)
+        pending: List[Tuple[int, int, int, Optional[str]]] = []
+        for zid, start, count in self.zone_plan():
+            key = self._zone_key(start, count) if store is not None else None
+            hit = (
+                self._load_zone(store, key, zid, start, count)
+                if store is not None and key is not None
+                else None
+            )
+            if hit is not None:
+                summaries.extend(hit[0])
+                zone_records.extend(hit[1])
+                stats.hits += 1
+            else:
+                pending.append((zid, start, count, key))
+        if pending:
+            plan = self._pending_shard_plan(pending)
+            payload = _FleetPayload(
+                instances=tuple(self.instances),
+                config=self.config,
+                shard_plan=plan,
+            )
+            ref = broadcast(payload)
+            envelopes = [
+                Envelope(
+                    fn=_run_fleet_shard,
+                    args=(ref, k),
+                    refs=(ref,),
+                    task_key=shard_task_key("fleet-shard", ref, plan[k]),
+                )
+                for k in range(len(plan))
+            ]
+            workers = min(resolve_workers(self.config.workers), len(plan))
+            shard_results = run_envelopes(envelopes, workers=workers)
+            keys = {zid: key for zid, _s, _c, key in pending}
+            starts = {zid: start for zid, start, _c, _key in pending}
+            for by_zone in shard_results:
+                for zid, zone_summaries, records in by_zone:
+                    summaries.extend(zone_summaries)
+                    zone_records.extend(records)
+                    key = keys[zid]
+                    if stats is not None:
+                        if key is None:
+                            stats.skipped += 1
+                        else:
+                            stats.misses += 1
+                    if store is not None and key is not None:
+                        start = starts[zid]
+                        store.put(
+                            key,
+                            (
+                                tuple(
+                                    replace(s, index=s.index - start)
+                                    for s in zone_summaries
+                                ),
+                                tuple(
+                                    (
+                                        r.epoch,
+                                        r.t,
+                                        r.violation_fraction,
+                                        r.clamped,
+                                    )
+                                    for r in records
+                                ),
+                            ),
+                        )
         summaries.sort(key=lambda s: s.index)
         zone_records.sort(key=lambda r: (r.epoch, r.zone))
         return FleetResult(
             duration_s=self.config.duration_s,
             instances=summaries,
             zone_records=zone_records,
+            cache=stats,
         )
 
     def run_reference(self) -> FleetResult:

@@ -4,6 +4,9 @@
 - :mod:`repro.loadgen.clarknet` — the synthetic ClarkNet-like production
   trace used in §5.3 (five days of diurnal web traffic scaled to six
   hours),
+- :mod:`repro.loadgen.alibaba` — the bundled Alibaba
+  cluster-trace-v2018 machine-usage sample, replayable through
+  :class:`~repro.loadgen.patterns.ReplayLoad`,
 - :mod:`repro.loadgen.generator` — Poisson request-count generation per
   measurement window with sampling caps.
 """
@@ -15,6 +18,7 @@ from repro.loadgen.patterns import (
     StepLoad,
     SweepLoad,
 )
+from repro.loadgen.alibaba import alibaba_machine_ids, alibaba_machine_load
 from repro.loadgen.clarknet import clarknet_production_load
 from repro.loadgen.generator import WindowLoadGenerator
 
@@ -24,6 +28,8 @@ __all__ = [
     "StepLoad",
     "DiurnalLoad",
     "SweepLoad",
+    "alibaba_machine_ids",
+    "alibaba_machine_load",
     "clarknet_production_load",
     "WindowLoadGenerator",
 ]

@@ -135,6 +135,22 @@ class WindowedTailTracker:
         if self._worst is None or tail > self._worst:
             self._worst = tail
 
+    def record_window_tails(self, tails: Sequence[float]) -> None:
+        """Record many externally computed window tails at once.
+
+        One list-extend plus one ``max`` replaces a python call per
+        window per machine when the fleet kernel replays a whole run's
+        window closes at finalize time; the stored state is identical
+        to a :meth:`record_window_tail` loop.
+        """
+        if not tails:
+            return
+        values = [float(tail) for tail in tails]
+        self._per_window.extend(values)
+        top = max(values)
+        if self._worst is None or top > self._worst:
+            self._worst = top
+
     @property
     def current_tail(self) -> Optional[float]:
         """Tail of the most recently closed window."""

@@ -483,6 +483,21 @@ def envelope_task_key(env: Envelope) -> str:
     return hashlib.sha256(payload).hexdigest()
 
 
+def shard_task_key(tag: str, ref: BroadcastRef, coords: Any) -> str:
+    """A content-stable task key for one shard of a broadcast fan-out.
+
+    Derived from the broadcast payload's digest plus the shard's
+    coordinate tuple (e.g. its zone spans) rather than its positional
+    shard index, so a shard keeps the same key whenever it covers the
+    same slice of the same payload — no matter how many other shards
+    run alongside it. Incremental fleet runs re-shard around cached
+    zones; with coordinate-derived keys, chaos fault plans (which
+    target task keys) still land on the same work.
+    """
+    blob = repr(coords).encode("utf-8")
+    return f"{tag}:{ref.digest[:12]}:{hashlib.sha256(blob).hexdigest()[:16]}"
+
+
 def _run_envelope(env: Envelope) -> Tuple[str, Any]:
     """Worker-side envelope execution: absorb, sabotage?, resolve, run."""
     if env.blobs:

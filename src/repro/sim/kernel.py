@@ -478,6 +478,70 @@ def drain_fifo_queue(
 
 
 # ---------------------------------------------------------------------------
+# Window-tail fast path: np.percentile without the dispatch overhead
+# ---------------------------------------------------------------------------
+
+
+def _lerp_quantile(a: float, b: float, g: float) -> float:
+    """numpy's ``_lerp`` on two python floats — branch and ops included.
+
+    numpy computes ``a + (b - a) * g`` and then overwrites with
+    ``b - (b - a) * (1 - g)`` where ``g >= 0.5``; reproducing the branch
+    with the same python-float operations is bitwise identical to the
+    elementwise float64 kernel.
+    """
+    d = b - a
+    if g >= 0.5:
+        return b - d * (1.0 - g)
+    return a + d * g
+
+
+def percentile_linear(values: np.ndarray, pct: float) -> float:
+    """``float(np.percentile(values, pct))`` for a 1-D float64 array.
+
+    The wrapper machinery around ``np.percentile`` (ufunc dispatch,
+    axis normalisation, virtual-index broadcasting) costs ~200µs per
+    call — an order of magnitude more than the O(n) partition it
+    guards for window-sized sample counts. This reimplements exactly
+    the ``method="linear"`` arithmetic: the virtual index is
+    ``(n - 1) * (pct / 100)``, the two bracketing order statistics come
+    from one ``np.partition``, and the interpolation replicates
+    ``_lerp``'s ``g >= 0.5`` branch. Bitwise equal to ``np.percentile``
+    for finite inputs (pinned by tests/test_sim_kernel.py).
+    """
+    n = values.shape[0]
+    virtual = (n - 1) * (pct / 100.0)
+    i0 = int(virtual)
+    g = virtual - i0
+    if i0 >= n - 1:
+        part = np.partition(values, n - 1)
+        return float(part[n - 1])
+    part = np.partition(values, (i0, i0 + 1))
+    return _lerp_quantile(float(part[i0]), float(part[i0 + 1]), g)
+
+
+def percentile_linear_rows(stack: np.ndarray, pct: float) -> List[float]:
+    """Row-wise ``np.percentile(stack, pct, axis=1)`` (linear method).
+
+    One partition over the whole ``(rows, n)`` block, then the same
+    scalar ``_lerp`` per row: elementwise float64 arithmetic equals the
+    per-row python-float arithmetic, so each entry is bitwise equal to
+    ``np.percentile`` of that row.
+    """
+    n = stack.shape[1]
+    virtual = (n - 1) * (pct / 100.0)
+    i0 = int(virtual)
+    g = virtual - i0
+    if i0 >= n - 1:
+        part = np.partition(stack, n - 1, axis=1)
+        return part[:, n - 1].tolist()
+    part = np.partition(stack, (i0, i0 + 1), axis=1)
+    lo = part[:, i0].tolist()
+    hi = part[:, i0 + 1].tolist()
+    return [_lerp_quantile(a, b, g) for a, b in zip(lo, hi)]
+
+
+# ---------------------------------------------------------------------------
 # The batched colocation tick
 # ---------------------------------------------------------------------------
 
@@ -569,6 +633,12 @@ class BatchedColocationKernel:
 # ---------------------------------------------------------------------------
 # Fleet-wide SoA: many colocation experiments in lockstep
 # ---------------------------------------------------------------------------
+
+#: Machine count at or below which a fleet runs the per-machine python
+#: tick instead of whole-array numpy: under this size every array op is
+#: dominated by its fixed dispatch cost. Both paths are bit-identical,
+#: so the threshold is purely a performance knob.
+_SMALL_FLEET_MACHINES = 8
 
 
 class FleetColocationKernel:
@@ -823,6 +893,46 @@ class FleetColocationKernel:
         self._wins: List[Tuple[List[bool], List[float]]] = []
         self._last_net: Optional[np.ndarray] = None
 
+        # -- small-fleet python fast path -----------------------------------
+        # Under ~8 machines the fixed dispatch cost of each whole-array
+        # numpy op dwarfs the elementwise work, so tiny fleets (and the
+        # single-experiment batched path that rides this kernel) run the
+        # same arithmetic as per-machine python floats: elementwise
+        # float64 ops equal python-float ops bit for bit, so both paths
+        # satisfy the same identity pin. State lives in python twins of
+        # the SoA columns; each mode touches only its own storage.
+        self._small = M <= _SMALL_FLEET_MACHINES
+        self._m_vi = m_vi
+        self._rows_py: List[Tuple] = [() for _ in range(M)]
+        self._nw_py: List[List[float]] = [[] for _ in range(M)]
+        self._rs_py: List[List[float]] = [[] for _ in range(M)]
+        self._freq_py: List[int] = list(f_now)
+        self._md_l: List[float] = [0.0] * M
+        self._nd_l: List[float] = [0.0] * M
+        self._cnt_inst_l: List[int] = [0] * M
+        self._cnt_cores_l: List[int] = [0] * M
+        self._cnt_ways_l: List[int] = [0] * M
+        self._njobs_l: List[int] = [0] * M
+        self._busy_c_l = busy_c
+        self._membw_c_l = membw_c
+        self._net_c_l = net_c
+        self._link_nic_l = link_nic
+        self._link_spec_l = link_spec
+        self._guard_l = guard
+        self._cores_f_l = cores_f
+        self._sla_l = sla
+        self._idle_l = idle_w
+        self._active_l = active_w
+        self._hi_l = hi_w
+        self._lo_l = lo_w
+        self._f_min_l = f_min
+        self._f_step_l = f_step
+        self._lc_int_l: List[float] = [0.0] * M
+        self._be_int_l: List[float] = [0.0] * M
+        self._cpu_int_l: List[float] = [0.0] * M
+        self._membw_int_l: List[float] = [0.0] * M
+        self._last_net_l: Optional[List[float]] = None
+
     # -- SoA <-> world synchronisation --------------------------------------
 
     def _rebuild_row(self, m: int) -> None:
@@ -847,18 +957,19 @@ class FleetColocationKernel:
                 f"machine {machine.spec.name!r} has {len(running)} running BE "
                 f"jobs, fleet rows hold {self._jmax}"
             )
-        self._cpu_base[m, :] = 0.0
-        self._req_cpu[m, :] = 1.0
-        self._llc_ratio[m, :] = np.inf
-        self._membw[m, :] = 0.0
-        self._membw_div[m, :] = 1.0
-        self._membw_mask[m, :] = False
-        self._net[m, :] = 0.0
-        self._net_div[m, :] = 1.0
-        self._net_mask[m, :] = False
-        self._valid[m, :] = 0.0
-        self._nw[m, :] = 0.0
-        self._rs[m, :] = 0.0
+        if not self._small:
+            self._cpu_base[m, :] = 0.0
+            self._req_cpu[m, :] = 1.0
+            self._llc_ratio[m, :] = np.inf
+            self._membw[m, :] = 0.0
+            self._membw_div[m, :] = 1.0
+            self._membw_mask[m, :] = False
+            self._net[m, :] = 0.0
+            self._net_div[m, :] = 1.0
+            self._net_mask[m, :] = False
+            self._valid[m, :] = 0.0
+            self._nw[m, :] = 0.0
+            self._rs[m, :] = 0.0
         total_membw_demand = 0.0
         total_net_demand = 0.0
         busy_cores = 0.0
@@ -930,25 +1041,42 @@ class FleetColocationKernel:
             llc_demand_total += row[9]
             llc_occupied_total += row[10]
         k = len(running)
-        if k:
-            self._cpu_base[m, :k] = cpu_b
-            self._req_cpu[m, :k] = req_c
-            self._llc_ratio[m, :k] = llc_r
-            self._membw[m, :k] = mbw
-            self._membw_mask[m, :k] = mbw_m
-            self._membw_div[m, :k] = mbw_d
-            self._net[m, :k] = net_l
-            self._net_mask[m, :k] = net_m
-            self._net_div[m, :k] = net_d
-            self._valid[m, :k] = 1.0
-            self._nw[m, :k] = nw_l
-            self._rs[m, :k] = rs_l
+        if self._small:
+            self._rows_py[m] = (
+                cpu_b, req_c, llc_r, mbw, mbw_m, mbw_d, net_l, net_m, net_d
+            )
+            self._nw_py[m] = nw_l
+            self._rs_py[m] = rs_l
+            self._md_l[m] = total_membw_demand
+            self._nd_l[m] = total_net_demand
+            self._cnt_inst_l[m] = machine.be_instance_count
+            self._cnt_cores_l[m] = machine.be_total_cores
+            self._cnt_ways_l[m] = machine.be_total_llc_ways
+            self._njobs_l[m] = k
+        else:
+            if k:
+                self._cpu_base[m, :k] = cpu_b
+                self._req_cpu[m, :k] = req_c
+                self._llc_ratio[m, :k] = llc_r
+                self._membw[m, :k] = mbw
+                self._membw_mask[m, :k] = mbw_m
+                self._membw_div[m, :k] = mbw_d
+                self._net[m, :k] = net_l
+                self._net_mask[m, :k] = net_m
+                self._net_div[m, :k] = net_d
+                self._valid[m, :k] = 1.0
+                self._nw[m, :k] = nw_l
+                self._rs[m, :k] = rs_l
+            self._busy_be[m] = busy_cores
+            self._md_total[m] = total_membw_demand
+            self._nd_total[m] = total_net_demand
+            self._cnt_inst[m] = machine.be_instance_count
+            self._cnt_cores[m] = machine.be_total_cores
+            self._cnt_ways[m] = machine.be_total_llc_ways
+            self._njobs[m] = k
         self._row_jobs[m] = running
         self._row_ids[m] = [job.job_id for job in running]
-        self._busy_be[m] = busy_cores
         self._busy_be_l[m] = busy_cores
-        self._md_total[m] = total_membw_demand
-        self._nd_total[m] = total_net_demand
         self._llc_dem_l[m] = min(1.0, llc_demand_total)
         self._llc_occ_l[m] = min(1.0, llc_occupied_total)
         # CPU and LLC pressure are pure functions of row state, so they
@@ -958,18 +1086,18 @@ class FleetColocationKernel:
         self._p_llc_l[m] = iso.llc_pressure(
             self._llc_occ_l[m], self._llc_dem_l[m]
         )
-        self._cnt_inst[m] = machine.be_instance_count
-        self._cnt_cores[m] = machine.be_total_cores
-        self._cnt_ways[m] = machine.be_total_llc_ways
-        self._njobs[m] = len(running)
 
     def _flush_row(self, m: int) -> None:
         """Write accumulated BE progress back into the ``BeJob`` objects."""
         jobs = self._row_jobs[m]
         if not jobs:
             return
-        nw = self._nw[m, : len(jobs)].tolist()
-        rs = self._rs[m, : len(jobs)].tolist()
+        if self._small:
+            nw = self._nw_py[m]
+            rs = self._rs_py[m]
+        else:
+            nw = self._nw[m, : len(jobs)].tolist()
+            rs = self._rs[m, : len(jobs)].tolist()
         for j, job in enumerate(jobs):
             job.normalized_work = nw[j]
             job.running_seconds = rs[j]
@@ -1005,10 +1133,335 @@ class FleetColocationKernel:
                 be_rates[i] = rate_sum
 
         vec = self._vec_idx
-        if not vec:
-            if want_obs:
-                self._on_tick(tick_index, t, loads, closed, tails, be_rates)
-            return
+        if vec:
+            if self._small:
+                self._tick_small(
+                    t, dt, last, loads, tails, closed, be_rates, want_obs
+                )
+            else:
+                self._tick_vec(
+                    t, dt, last, loads, tails, closed, be_rates, want_obs
+                )
+        if want_obs:
+            self._on_tick(tick_index, t, loads, closed, tails, be_rates)
+
+    def _sample_tails(
+        self,
+        w_real: List[float],
+        w_n: List[int],
+        slow_l: List[float],
+        infl_l: List[float],
+    ) -> Tuple[List[bool], List[float]]:
+        """Latency sampling + window tails for every vectorized instance.
+
+        Per-instance RNG draws stay sequential (stream identity); the
+        tail reduction groups instances by ``(n_samples, percentile)``
+        and runs one partitioned percentile per group, bitwise equal to
+        the scalar per-instance ``np.percentile`` call.
+        """
+        vec = self._vec_idx
+        groups: Dict[Tuple[int, float], Tuple[List[int], List[np.ndarray]]] = {}
+        for vi in range(len(vec)):
+            n = w_n[vi]
+            if n <= 0:
+                continue
+            slowdowns: Dict[str, float] = {}
+            inflations: Dict[str, float] = {}
+            for m in self._inst_machines[vi]:
+                pod = self._m_pod[m]
+                slowdowns[pod] = slow_l[m]
+                inflations[pod] = infl_l[m]
+            lat = self._samplers[vi].sample_e2e(
+                w_real[vi], n, slowdowns, inflations
+            )
+            key = (n, self._tail_pct[vi])
+            bucket = groups.get(key)
+            if bucket is None:
+                bucket = ([], [])
+                groups[key] = bucket
+            bucket[0].append(vi)
+            bucket[1].append(lat)
+        closed_vec = [False] * len(vec)
+        tails_vec = [0.0] * len(vec)
+        for (_n, pct), (vis, lats) in groups.items():
+            if len(lats) == 1:
+                vals = [percentile_linear(lats[0], pct)]
+            else:
+                vals = percentile_linear_rows(np.stack(lats), pct)
+            for vi, tail in zip(vis, vals):
+                closed_vec[vi] = True
+                tails_vec[vi] = tail
+        return closed_vec, tails_vec
+
+    def _tick_small(
+        self,
+        t: float,
+        dt: float,
+        last: bool,
+        loads: List[float],
+        tails: List[float],
+        closed: List[bool],
+        be_rates: List[float],
+        want_obs: bool,
+    ) -> None:
+        """Per-machine python tick for small fleets.
+
+        Identical arithmetic to :meth:`_tick_vec`, operand for operand:
+        every whole-array op there is elementwise over machines (or a
+        strictly left-to-right fold over job slots), and elementwise
+        float64 equals python-float arithmetic bit for bit, so both
+        paths land on the same identity pin. ``np.minimum``/``maximum``
+        become ``min``/``max`` — equivalent here because no operand is
+        NaN and no tie mixes signed zeros.
+        """
+        exps = self._exps
+        vec = self._vec_idx
+        M = self._n_machines
+        m_vi = self._m_vi
+
+        # Phase 0: load windows (per-instance RNG, python).
+        w_load: List[float] = [0.0] * len(vec)
+        w_real: List[float] = [0.0] * len(vec)
+        w_n: List[int] = [0] * len(vec)
+        for vi, i in enumerate(vec):
+            window = exps[i]._begin_tick(t, dt)
+            w_load[vi] = window.load
+            w_real[vi] = window.realized_load
+            w_n[vi] = window.n_samples
+            loads[i] = window.load
+
+        if self._dirty:
+            for m in sorted(self._dirty):
+                self._rebuild_row(m)
+            self._dirty.clear()
+
+        # Phases 1 + 3 fused per machine: LC usage, NIC caps, headroom
+        # shares, Leontief rates, BE progress, pressure -> slowdown.
+        slow_l: List[float] = [1.0] * M
+        infl_l: List[float] = [1.0] * M
+        membw_l: List[float] = [0.0] * M
+        net_l: List[float] = [0.0] * M
+        lc_busy_l: List[float] = [0.0] * M
+        lc_net_l: List[float] = [0.0] * M
+        rate_rows: List[List[float]] = [[]] * M
+        rate_tot_l: List[float] = [0.0] * M
+        busy_tot_l: List[float] = [0.0] * M
+        membw_tot_l: List[float] = [0.0] * M
+        load_m: List[float] = [0.0] * M
+        for m in range(M):
+            vi = m_vi[m]
+            real = w_real[vi]
+            load_m[m] = w_load[vi]
+            lc_busy = self._busy_c_l[m] * real
+            lc_membw = self._membw_c_l[m] * real
+            if lc_membw > 1.0:
+                lc_membw = 1.0
+            lc_net = self._net_c_l[m] * real
+            link = self._link_nic_l[m]
+            lc_sent = lc_net if lc_net < link else link
+            be_cap = link - self._guard_l[m] * lc_sent
+            if be_cap < 0.0:
+                be_cap = 0.0
+            be_cap_frac = be_cap / self._link_spec_l[m]
+            headroom = 1.0 - lc_membw
+            if headroom < 0.0:
+                headroom = 0.0
+            md = self._md_l[m]
+            membw_scale = 1.0
+            if md > 0.0:
+                membw_scale = headroom / md
+                if membw_scale > 1.0:
+                    membw_scale = 1.0
+            nd = self._nd_l[m]
+            net_scale = 1.0
+            if nd > 0.0:
+                net_scale = be_cap_frac / nd
+                if net_scale > 1.0:
+                    net_scale = 1.0
+            fratio = self._freq_py[m] / self._f_max_l[m]
+            (cpu_b, req_c, llc_r, mbw, mbw_m, mbw_d,
+             net_b, net_m, net_d) = self._rows_py[m]
+            nw = self._nw_py[m]
+            rs = self._rs_py[m]
+            rates: List[float] = [0.0] * len(cpu_b)
+            membw_used = 0.0
+            net_used = 0.0
+            rate_total = 0.0
+            for j in range(len(cpu_b)):
+                r = (cpu_b[j] * fratio) / req_c[j]
+                lr = llc_r[j]
+                if lr < r:
+                    r = lr
+                g_m = mbw[j] * membw_scale
+                if mbw_m[j]:
+                    q = g_m / mbw_d[j]
+                    if q < r:
+                        r = q
+                g_n = net_b[j] * net_scale
+                if net_m[j]:
+                    q = g_n / net_d[j]
+                    if q < r:
+                        r = q
+                if r > 1.0:
+                    r = 1.0
+                elif r < 0.0:
+                    r = 0.0
+                rates[j] = r
+                membw_used = membw_used + g_m
+                net_used = net_used + g_n
+                rate_total = rate_total + r
+                nw[j] = nw[j] + dt * r
+                rs[j] = rs[j] + dt
+            snap_membw = membw_used if membw_used < 1.0 else 1.0
+            snap_net = net_used if net_used < 1.0 else 1.0
+            p_cpu = self._p_cpu_l[m]
+            p_llc = self._p_llc_l[m]
+            coeffs, gamma, beta, hroom, coup, cap = self._pconst[m]
+            if p_cpu == 0.0 and p_llc == 0.0 and snap_membw == 0.0 and snap_net == 0.0:
+                slow = 1.0
+            else:
+                impact = coeffs[0] * p_cpu**gamma
+                impact = impact + coeffs[1] * p_llc**gamma
+                impact = impact + coeffs[2] * snap_membw**gamma
+                impact = impact + coeffs[3] * snap_net**gamma
+                impact = impact + coeffs[4] * 0.0**gamma
+                lo = real
+                if lo < 0.0:
+                    lo = 0.0
+                elif lo > 1.0:
+                    lo = 1.0
+                amp = 1.0 + beta * lo / (hroom + (1.0 - lo))
+                slow = 1.0 + amp * impact
+            slow_l[m] = slow
+            infl = 1.0 + coup * (slow - 1.0)
+            infl_l[m] = infl if infl < cap else cap
+            membw_l[m] = snap_membw
+            net_l[m] = snap_net
+            lc_busy_l[m] = lc_busy
+            lc_net_l[m] = lc_net
+            rate_rows[m] = rates
+            rate_tot_l[m] = rate_total
+            busy_tot = lc_busy + self._busy_be_l[m]
+            busy_tot_l[m] = busy_tot
+            membw_tot = lc_membw + snap_membw
+            if membw_tot > 1.0:
+                membw_tot = 1.0
+            membw_tot_l[m] = membw_tot
+            cores_f = self._cores_f_l[m]
+            self._lc_int_l[m] += load_m[m] * dt
+            self._be_int_l[m] += rate_total * dt
+            self._cpu_int_l[m] += (busy_tot if busy_tot < cores_f else cores_f) * dt
+            self._membw_int_l[m] += membw_tot * dt
+        self._elapsed += dt
+
+        # Phase 2: latency sampling (shared with the vectorized path).
+        closed_vec, tails_vec = self._sample_tails(w_real, w_n, slow_l, infl_l)
+        for vi, i in enumerate(vec):
+            tails[i] = tails_vec[vi]
+            closed[i] = closed_vec[vi]
+
+        # Deferred metrics: python columns; counters copied before the
+        # applies, like the scalar record_tick.
+        self._cols.append(
+            (
+                t,
+                load_m,
+                [tails_vec[m_vi[m]] for m in range(M)],
+                busy_tot_l,
+                membw_tot_l,
+                rate_tot_l,
+                list(self._cnt_inst_l),
+                list(self._cnt_cores_l),
+                list(self._cnt_ways_l),
+                list(self._njobs_l),
+            )
+        )
+        self._wins.append((closed_vec, tails_vec))
+
+        # Phase 4: control (same memoized-apply loop as the vec path).
+        acts: List[str] = [""] * M
+        stop = BeAction.STOP_BE
+        for m in range(M):
+            i = self._m_i[m]
+            exp = exps[i]
+            run = self._m_run[m]
+            machine = self._m_mach[m]
+            action = run.controller.decide(loads[i], tails[i], t=t)
+            filt = exp.action_filter
+            if filt is not None:
+                action = filt(self._m_pod[m], action)
+            run.last_action = action
+            acts[m] = action.value
+            if last:
+                ids = self._row_ids[m]
+                run.last_snapshot = BeResourceSnapshot(
+                    busy_cores=self._busy_be_l[m],
+                    membw_fraction=membw_l[m],
+                    llc_demand_fraction=self._llc_dem_l[m],
+                    llc_occupied_fraction=self._llc_occ_l[m],
+                    net_fraction=net_l[m],
+                    rates=dict(zip(ids, rate_rows[m][: len(ids)])),
+                )
+            memo = self._memo[m]
+            key = (action, machine.version, machine.mem_version)
+            if key in memo:
+                continue
+            self._flush_row(m)
+            v0 = machine.version
+            mv0 = machine.mem_version
+            exp._cpu_llc.apply(action, machine, run.pool)
+            exp._memory.apply(action, machine, run.pool)
+            if action is stop:
+                self._freq_py[m] = self._f_max_l[m]
+            if machine.version != v0:
+                self._dirty.add(m)
+                self._cnt_inst_l[m] = machine.be_instance_count
+                self._cnt_cores_l[m] = machine.be_total_cores
+                self._cnt_ways_l[m] = machine.be_total_llc_ways
+            elif machine.mem_version == mv0 and action is not stop:
+                memo.add(key)
+        self._acts.append(acts)
+
+        # Phase 5: frequency subcontroller per machine (post-apply BE
+        # core counts, python pow cube — same table the vec path uses).
+        r3_cache = self._r3_cache
+        for m in range(M):
+            f = self._freq_py[m]
+            mx = self._f_max_l[m]
+            v = r3_cache.get((f, mx))
+            if v is None:
+                v = (f / mx) ** 3
+                r3_cache[(f, mx)] = v
+            power = self._idle_l[m] + self._active_l[m] * (
+                lc_busy_l[m] + self._cnt_cores_l[m] * v
+            )
+            if power > self._hi_l[m]:
+                self._freq_py[m] = max(self._f_min_l[m], f - self._f_step_l[m])
+            elif power < self._lo_l[m]:
+                self._freq_py[m] = min(mx, f + self._f_step_l[m])
+        self._last_net_l = lc_net_l
+
+        if want_obs:
+            for vi, i in enumerate(vec):
+                rate_sum = 0.0
+                for m in self._inst_machines[vi]:
+                    rate_sum += rate_tot_l[m]
+                be_rates[i] = rate_sum
+
+    def _tick_vec(
+        self,
+        t: float,
+        dt: float,
+        last: bool,
+        loads: List[float],
+        tails: List[float],
+        closed: List[bool],
+        be_rates: List[float],
+        want_obs: bool,
+    ) -> None:
+        """Whole-array tick over the vectorized instances (large fleets)."""
+        exps = self._exps
+        vec = self._vec_idx
         M = self._n_machines
 
         # Phase 0: load windows (per-instance RNG, python).
@@ -1065,15 +1518,13 @@ class FleetColocationKernel:
         )
         rate = np.maximum(0.0, np.minimum(1.0, ratios))
 
-        # Padded column sweeps: exact because pads add +0.0 to
-        # non-negative accumulators (np.add.reduceat would not be).
-        membw_used = np.zeros(M)
-        net_used = np.zeros(M)
-        rate_total = np.zeros(M)
-        for j in range(self._jmax):
-            membw_used = membw_used + granted_membw[:, j]
-            net_used = net_used + granted_net[:, j]
-            rate_total = rate_total + rate[:, j]
+        # Padded column sweeps as ``add.accumulate`` (strictly sequential
+        # left-to-right, unlike ``np.sum``'s pairwise fold): exact because
+        # pads add +0.0 to non-negative accumulators and the first column
+        # satisfies ``0.0 + c == c`` bitwise for c >= 0.
+        membw_used = np.cumsum(granted_membw, axis=1)[:, -1]
+        net_used = np.cumsum(granted_net, axis=1)[:, -1]
+        rate_total = np.cumsum(rate, axis=1)[:, -1]
         snap_membw = np.minimum(1.0, membw_used)
         snap_net = np.minimum(1.0, net_used)
 
@@ -1112,38 +1563,8 @@ class FleetColocationKernel:
 
         # Phase 2: latency sampling per instance (per-instance RNG),
         # tails reduced per (n_samples, percentile) group in one
-        # np.percentile call — bitwise equal per row.
-        groups: Dict[Tuple[int, float], Tuple[List[int], List[np.ndarray]]] = {}
-        for vi, i in enumerate(vec):
-            n = w_n[vi]
-            if n <= 0:
-                continue
-            slowdowns: Dict[str, float] = {}
-            inflations: Dict[str, float] = {}
-            for m in self._inst_machines[vi]:
-                pod = self._m_pod[m]
-                slowdowns[pod] = slow_l[m]
-                inflations[pod] = infl_l[m]
-            lat = self._samplers[vi].sample_e2e(
-                w_real[vi], n, slowdowns, inflations
-            )
-            key = (n, self._tail_pct[vi])
-            bucket = groups.get(key)
-            if bucket is None:
-                bucket = ([], [])
-                groups[key] = bucket
-            bucket[0].append(vi)
-            bucket[1].append(lat)
-        closed_vec = [False] * len(vec)
-        tails_vec = [0.0] * len(vec)
-        for (_n, pct), (vis, lats) in groups.items():
-            if len(lats) == 1:
-                vals = [float(np.percentile(lats[0], pct))]
-            else:
-                vals = np.percentile(np.stack(lats), pct, axis=1).tolist()
-            for vi, tail in zip(vis, vals):
-                closed_vec[vi] = True
-                tails_vec[vi] = tail
+        # partitioned-percentile call — bitwise equal per row.
+        closed_vec, tails_vec = self._sample_tails(w_real, w_n, slow_l, infl_l)
         for vi, i in enumerate(vec):
             tails[i] = tails_vec[vi]
             closed[i] = closed_vec[vi]
@@ -1262,7 +1683,6 @@ class FleetColocationKernel:
                 for m in self._inst_machines[vi]:
                     rate_sum += rt_l[m]
                 be_rates[i] = rate_sum
-            self._on_tick(tick_index, t, loads, closed, tails, be_rates)
 
     # -- whole runs ----------------------------------------------------------
 
@@ -1297,6 +1717,9 @@ class FleetColocationKernel:
 
     def _finalize(self) -> None:
         """Flush SoA state back into the world objects and metrics."""
+        if self._small:
+            self._finalize_small()
+            return
         M = self._n_machines
         elapsed = self._elapsed
         lc_l = self._lc_int.tolist()
@@ -1350,14 +1773,60 @@ class FleetColocationKernel:
         for vi, rows in enumerate(self._inst_machines):
             window_tails = [tl[vi] for (cv, tl) in self._wins if cv[vi]]
             for m in rows:
-                tracker = self._m_run[m].metrics.tail
-                for tail in window_tails:
-                    tracker.record_window_tail(tail)
+                self._m_run[m].metrics.tail.record_window_tails(window_tails)
         # Sync the hardware observables (DVFS frequency, NIC caps) so
         # post-run machine state matches a scalar run's.
         freq_l = self._freq.tolist()
         net_l = self._last_net.tolist() if self._last_net is not None else None
+        self._sync_hardware(freq_l, net_l)
+
+    def _finalize_small(self) -> None:
+        """Python finalize over the small-fleet twins (same values)."""
+        M = self._n_machines
+        elapsed = self._elapsed
         for m in range(M):
+            self._flush_row(m)
+            metrics = self._m_run[m].metrics
+            emu = metrics.emu
+            emu._lc_integral = self._lc_int_l[m]
+            emu._be_integral = self._be_int_l[m]
+            emu._elapsed = elapsed
+            util = metrics.utilisation
+            util._cpu_integral = self._cpu_int_l[m]
+            util._membw_integral = self._membw_int_l[m]
+            util._elapsed = elapsed
+        for col, acts in zip(self._cols, self._acts):
+            (t, load_m, tail_m, busy, membw, rate_tot, ci, cc, cw, nj) = col
+            for m in range(M):
+                tail = tail_m[m]
+                sla = self._sla_l[m]
+                self._m_run[m].metrics.samples.append(
+                    TickSample(
+                        t=t,
+                        load=load_m[m],
+                        slack=(sla - tail) / sla,
+                        tail_ms=tail,
+                        cpu_utilisation=min(1.0, busy[m] / self._cores_f_l[m]),
+                        membw_utilisation=membw[m],
+                        be_instances=ci[m],
+                        be_cores=cc[m],
+                        be_llc_ways=cw[m],
+                        # Same int-0 quirk as the vec path: the scalar
+                        # rates dict sums to the *int* 0 when empty.
+                        be_rate=rate_tot[m] if nj[m] else 0,
+                        action=acts[m],
+                    )
+                )
+        for vi, rows in enumerate(self._inst_machines):
+            window_tails = [tl[vi] for (cv, tl) in self._wins if cv[vi]]
+            for m in rows:
+                self._m_run[m].metrics.tail.record_window_tails(window_tails)
+        self._sync_hardware(self._freq_py, self._last_net_l)
+
+    def _sync_hardware(
+        self, freq_l: List[int], net_l: Optional[List[float]]
+    ) -> None:
+        for m in range(self._n_machines):
             machine = self._m_mach[m]
             if freq_l[m] >= self._f_max_l[m]:
                 machine.dvfs.reset(BE_DOMAIN)

@@ -60,21 +60,47 @@ class TestFleetCli:
         assert args.violation_threshold is None
         assert args.policies == ["rhythm", "heracles"]
 
-    def test_fleet_runs_small(self, capsys, tmp_path):
+    def test_fleet_cache_flag_defaults_on(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.cache is True
+        assert build_parser().parse_args(["fleet", "--no-cache"]).cache is False
+
+    def test_fleet_runs_small(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("RHYTHM_CACHE_DIR", str(tmp_path / "cachedir"))
         out_file = tmp_path / "fleet.json"
-        assert main([
+        argv = [
             "fleet", "--machines", "4", "--duration", "20",
             "--shards", "2", "--workers", "1", "--seed", "3",
             "--zone-size", "1", "--policies", "heracles",
             "--json", str(out_file),
-        ]) == 0
+        ]
+        assert main(argv) == 0
         out = capsys.readouterr().out
         assert "heracles" in out and "Fleet" in out
+        assert "misses" in out and "zones" in out  # the cache stats line
         import json as _json
 
         report = _json.loads(out_file.read_text())
         assert report["heracles"]["machines"] >= 4
         assert report["heracles"]["digest"]
+        assert report["heracles"]["cache"]["misses"] > 0
+        # A warm CLI re-run serves every zone from the store.
+        assert main(argv) == 0
+        warm_out = capsys.readouterr().out
+        warm = _json.loads(out_file.read_text())
+        assert warm["heracles"]["cache"]["misses"] == 0
+        assert warm["heracles"]["cache"]["hits"] > 0
+        assert warm["heracles"]["digest"] == report["heracles"]["digest"]
+        assert "0 misses" in warm_out
+
+    def test_fleet_no_cache_has_no_stats_line(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("RHYTHM_CACHE_DIR", str(tmp_path / "cachedir"))
+        assert main([
+            "fleet", "--machines", "2", "--duration", "10",
+            "--workers", "1", "--zone-size", "1",
+            "--policies", "heracles", "--no-cache",
+        ]) == 0
+        assert "zones" not in capsys.readouterr().out
 
 
 class TestCacheCli:

@@ -177,3 +177,70 @@ class TestCacheKeySharing:
         # never be served to either kernel.
         tag = CODE_VERSION_SALT.rsplit(":", 1)[-1]
         assert tag.isdigit() and int(tag) >= 4
+
+
+class TestPercentileFastPath:
+    """The partition-based percentile must be bitwise np.percentile."""
+
+    def _cases(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1234)
+        sizes = [1, 2, 3, 5, 17, 100, 800, 1023]
+        pcts = [0.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0]
+        for n in sizes:
+            scale = float(rng.uniform(1e-6, 1e6))
+            values = rng.uniform(0.0, scale, size=n)
+            for pct in pcts:
+                yield values, pct
+
+    def test_percentile_linear_matches_numpy_bitwise(self):
+        import numpy as np
+
+        from repro.sim.kernel import percentile_linear
+
+        for values, pct in self._cases():
+            expected = float(np.percentile(values, pct))
+            assert percentile_linear(values.copy(), pct) == expected
+
+    def test_percentile_linear_rows_matches_numpy_bitwise(self):
+        import numpy as np
+
+        from repro.sim.kernel import percentile_linear_rows
+
+        rng = np.random.default_rng(77)
+        for n in (1, 2, 7, 64, 501):
+            stack = rng.uniform(0.0, 100.0, size=(5, n))
+            for pct in (0.0, 50.0, 99.0, 100.0):
+                expected = [
+                    float(np.percentile(stack[row], pct))
+                    for row in range(stack.shape[0])
+                ]
+                got = percentile_linear_rows(stack.copy(), pct)
+                assert got == expected
+
+
+class TestSmallFleetPathEquivalence:
+    """The python small-fleet tick and the vectorised tick are one path
+    semantically: forcing the vectorised branch on a small fleet must
+    reproduce the small path's digests bit-identically."""
+
+    def test_small_and_vectorised_ticks_agree(self, monkeypatch):
+        from repro.experiments.fleet import fleet_identity_probe
+        import repro.sim.kernel as kernel_mod
+
+        small = fleet_identity_probe("fleet", n_instances=3, duration_s=40.0)
+        monkeypatch.setattr(kernel_mod, "_SMALL_FLEET_MACHINES", 0)
+        forced_vec = fleet_identity_probe(
+            "fleet", n_instances=3, duration_s=40.0
+        )
+        assert forced_vec == small
+
+    def test_vectorised_path_still_matches_scalar_reference(self, monkeypatch):
+        from repro.experiments.fleet import fleet_identity_probe
+        import repro.sim.kernel as kernel_mod
+
+        monkeypatch.setattr(kernel_mod, "_SMALL_FLEET_MACHINES", 0)
+        assert fleet_identity_probe(
+            "fleet", n_instances=2, duration_s=30.0
+        ) == fleet_identity_probe("reference", n_instances=2, duration_s=30.0)

@@ -199,3 +199,73 @@ class TestWindowGenerator:
                 ConstantLoad(0.5), 10.0, np.random.default_rng(0),
                 sample_cap=10, min_samples=20,
             )
+
+
+class TestAlibabaTraceSample:
+    """The bundled Alibaba-v2018 machine-usage sample through ReplayLoad."""
+
+    def test_sample_parses_and_is_plausible(self):
+        from repro.loadgen.alibaba import (
+            ALIBABA_INTERVAL_S,
+            alibaba_machine_ids,
+            alibaba_machine_load,
+        )
+
+        ids = alibaba_machine_ids()
+        assert len(ids) >= 4
+        for machine_id in ids:
+            pattern = alibaba_machine_load(machine_id)
+            assert isinstance(pattern, ReplayLoad)
+            assert pattern.interval_s == ALIBABA_INTERVAL_S
+            # 24 hours at 5-minute resolution.
+            assert len(pattern.levels) == 288
+            assert all(0.0 <= level <= 1.0 for level in pattern.levels)
+            # Published v2018 shape: mid-range mean utilisation, real
+            # diurnal swing between the trough and the peak.
+            mean = sum(pattern.levels) / len(pattern.levels)
+            assert 0.2 <= mean <= 0.6
+            assert max(pattern.levels) - min(pattern.levels) >= 0.15
+
+    def test_default_machine_and_unknown_machine(self):
+        from repro.loadgen.alibaba import alibaba_machine_ids, alibaba_machine_load
+
+        default = alibaba_machine_load()
+        explicit = alibaba_machine_load(alibaba_machine_ids()[0])
+        assert default.levels == explicit.levels
+        with pytest.raises(ConfigurationError):
+            alibaba_machine_load("m_does_not_exist")
+
+    def test_trace_loops_for_long_runs(self):
+        from repro.loadgen.alibaba import alibaba_machine_load
+
+        pattern = alibaba_machine_load()
+        day = 288 * pattern.interval_s
+        assert pattern.load_at(day + 42.0) == pattern.load_at(42.0)
+        clamped = alibaba_machine_load(loop=False)
+        assert clamped.load_at(10 * day) == clamped.levels[-1]
+
+    def test_seeded_replay_is_deterministic_through_the_simulator(self):
+        from repro.experiments.fleet import (
+            FleetConfig,
+            FleetExperiment,
+            FleetInstanceSpec,
+            heracles_fleet_policies,
+        )
+        from repro.loadgen.alibaba import alibaba_machine_ids, alibaba_machine_load
+
+        policies = tuple(sorted(heracles_fleet_policies("Redis").items()))
+        specs = [
+            FleetInstanceSpec(
+                service="Redis",
+                policies=policies,
+                be_jobs=("stream-llc",),
+                pattern=alibaba_machine_load(machine_id),
+                seed=90 + k,
+            )
+            for k, machine_id in enumerate(alibaba_machine_ids()[:2])
+        ]
+        config = FleetConfig(duration_s=30.0, workers=1, zone_size=2)
+        first = FleetExperiment(specs, config).run()
+        again = FleetExperiment(specs, config).run()
+        assert first.digest == again.digest
+        assert first.events_fired > 0
