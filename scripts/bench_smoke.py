@@ -27,7 +27,12 @@ Runs, in order:
    throwaway disk cache, asserting the warm run executes zero
    simulations, reproduces the cold ``FleetResult.digest``
    bit-identically, and still hits every entry after resharding, then
-8. the tier-1 test suite (``pytest -x -q`` over ``tests/``).
+8. the bake-off smoke: a small three-member controller bake-off under
+   a fault schedule, run once as independent reference runs and once
+   through the shared-physics single pass, asserting bit-identical
+   digests, plus a cold/warm bake-off cache round trip that must
+   execute zero shared passes when warm, then
+9. the tier-1 test suite (``pytest -x -q`` over ``tests/``).
 
 Exit code is non-zero on any failure, so CI can gate pool-runner and
 cache regressions without paying for the full figure grids. Usage::
@@ -413,6 +418,78 @@ def smoke_fleet_cache() -> None:
     )
 
 
+def smoke_bakeoff() -> None:
+    """The controller bake-off identity gate plus its cache round trip.
+
+    A small three-member bake-off under a fault schedule must reproduce
+    the independent reference runs' digests bit-identically through the
+    shared-physics single pass, and a warm re-run against a throwaway
+    disk cache must execute zero shared passes while returning the cold
+    run's digest.
+    """
+    import shutil
+    import tempfile
+
+    from repro.cache import CacheStore
+    from repro.experiments.bakeoff import (
+        BakeoffConfig,
+        bakeoff_identity_probe,
+        bakeoff_scenario_grid,
+        heracles_member,
+        interference_member,
+        predictive_member,
+        run_bakeoff,
+    )
+
+    t0 = time.perf_counter()
+    for with_faults in (False, True):
+        reference = bakeoff_identity_probe(
+            "reference", duration_s=40.0, with_faults=with_faults
+        )
+        shared = bakeoff_identity_probe(
+            "bakeoff", duration_s=40.0, with_faults=with_faults
+        )
+        if shared != reference:
+            raise AssertionError(
+                f"shared bake-off pass diverged from the independent "
+                f"reference runs (with_faults={with_faults})"
+            )
+    identity_s = time.perf_counter() - t0
+
+    members = [
+        heracles_member("Redis"),
+        interference_member(),
+        predictive_member(),
+    ]
+    scenarios = bakeoff_scenario_grid(
+        loads=(0.35,), duration_s=40.0, seed=3
+    )
+    config = BakeoffConfig(duration_s=40.0)
+    cache_dir = tempfile.mkdtemp(prefix="rhythm-smoke-bakeoff-")
+    try:
+        store = CacheStore(cache_dir)
+        t0 = time.perf_counter()
+        cold = run_bakeoff(scenarios, members, config=config, cache=store)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = run_bakeoff(scenarios, members, config=config, cache=store)
+        warm_s = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    if warm.passes != 0:
+        raise AssertionError(
+            f"warm bake-off re-simulated: {warm.passes} shared passes, "
+            f"{warm.cache.misses} cache misses"
+        )
+    if warm.digest != cold.digest:
+        raise AssertionError("warm bake-off digest diverged from the cold run")
+    print(
+        f"smoke bakeoff OK: 3-member roster bit-identical to independent "
+        f"runs, healthy + faulted ({identity_s:.1f}s); cold {cold_s:.1f}s "
+        f"-> warm {warm_s:.3f}s, zero shared passes warm"
+    )
+
+
 def run_tier1() -> int:
     """The repo's tier-1 suite, exactly as the roadmap invokes it."""
     env = dict(**__import__("os").environ)
@@ -439,6 +516,7 @@ def main() -> int:
     smoke_kernel()
     smoke_fleet()
     smoke_fleet_cache()
+    smoke_bakeoff()
     if args.skip_tests:
         return 0
     return run_tier1()

@@ -17,12 +17,17 @@
 #      smoke: a mixed fleet bit-identical to the sequential scalar
 #      reference and invariant to the shard count, and the fleet cache
 #      smoke: a warm fleet re-run must execute zero simulations and
-#      reproduce the cold run's FleetResult.digest)
+#      reproduce the cold run's FleetResult.digest, and the bake-off
+#      smoke: a shared-physics multi-controller pass bit-identical to
+#      independent reference runs, healthy and faulted, with a warm
+#      cache re-run executing zero shared passes)
 #      from scripts/bench_smoke.py, then
 #   3. (opt-in, RHYTHM_BENCH_GATE=1) the full kernel benchmark with a 5x
-#      aggregate-speedup gate (benchmarks/bench_kernel.py --gate 5.0)
-#      and the fleet benchmark with its 10x colocation-path gate
-#      (benchmarks/bench_fleet.py --gate 10.0).
+#      aggregate-speedup gate (benchmarks/bench_kernel.py --gate 5.0),
+#      the fleet benchmark with its 10x colocation-path gate
+#      (benchmarks/bench_fleet.py --gate 10.0), and the bake-off
+#      benchmark with its 2x aggregate-speedup gate
+#      (benchmarks/bench_bakeoff.py --gate 2.0).
 #
 # Any failure aborts with a non-zero exit code.
 
@@ -46,6 +51,9 @@ if [[ "${RHYTHM_BENCH_GATE:-0}" == "1" ]]; then
   echo
   echo "== fleet benchmark gate (RHYTHM_BENCH_GATE=1) =="
   python benchmarks/bench_fleet.py --gate 10.0
+  echo
+  echo "== bake-off benchmark gate (RHYTHM_BENCH_GATE=1) =="
+  python benchmarks/bench_bakeoff.py --gate 2.0
 fi
 
 echo

@@ -5,9 +5,33 @@
   Rhythm, but with *uniform* thresholds at every machine (loadlimit 0.85,
   slacklimit 0.10) and no per-Servpod distinction.
 - :mod:`repro.baselines.static` — non-colocating references (LC solo).
+- :mod:`repro.baselines.interference` — Alibaba-style single-score
+  interference throttling (arXiv:2407.12248).
+- :mod:`repro.baselines.predictive` — PCS-style predicted-slack control
+  (arXiv:1511.02960).
 """
 
 from repro.baselines.heracles import HeraclesPolicy, heracles_controllers
+from repro.baselines.interference import (
+    InterferencePolicy,
+    InterferenceScoreController,
+    interference_controllers,
+)
+from repro.baselines.predictive import (
+    PredictiveController,
+    PredictivePolicy,
+    predictive_controllers,
+)
 from repro.baselines.static import LcSoloPolicy
 
-__all__ = ["HeraclesPolicy", "heracles_controllers", "LcSoloPolicy"]
+__all__ = [
+    "HeraclesPolicy",
+    "heracles_controllers",
+    "InterferencePolicy",
+    "InterferenceScoreController",
+    "interference_controllers",
+    "PredictivePolicy",
+    "PredictiveController",
+    "predictive_controllers",
+    "LcSoloPolicy",
+]

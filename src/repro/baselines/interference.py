@@ -1,0 +1,97 @@
+"""Interference-scoring baseline (Alibaba-style colocation scoring).
+
+Alibaba's production colocation stack (see "Deep Dive into the Workload
+Scheduler for Large-Scale Cloud Computing", arXiv:2407.12248) throttles
+best-effort work off a single machine-level *interference score* blended
+from utilisation and latency signals, rather than Rhythm's per-component
+thresholds. This baseline reproduces that control style on the repo's
+knobs: each period it folds the normalised LC load and the tail/SLA
+ratio into an exponentially smoothed score and maps fixed score bands to
+the five BE actions. One scalar score, uniform bands on every machine —
+deliberately component-blind, which is exactly what the bake-off is
+meant to expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.actions import BeAction
+from repro.core.controller import ColocationController
+from repro.errors import ControlError
+from repro.workloads.spec import ServiceSpec
+
+
+@dataclass(frozen=True)
+class InterferencePolicy:
+    """Scoring weights and bands of the interference-scoring baseline.
+
+    The score is ``load_weight * load + tail_weight * (tail / SLA)``,
+    smoothed with ``ema_alpha`` (1.0 = no smoothing). Bands map the
+    smoothed score to actions: below ``allow_below`` BE may grow, then
+    growth is frozen, above ``cut_above`` BE shrinks and above
+    ``suspend_above`` it suspends; a tail at or past the SLA always
+    stops BE outright.
+    """
+
+    load_weight: float = 0.5
+    tail_weight: float = 0.5
+    ema_alpha: float = 0.6
+    allow_below: float = 0.55
+    cut_above: float = 0.70
+    suspend_above: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.ema_alpha <= 1.0):
+            raise ControlError(f"ema_alpha must be in (0,1], got {self.ema_alpha!r}")
+        if not (0.0 < self.allow_below <= self.cut_above <= self.suspend_above):
+            raise ControlError(
+                "score bands must satisfy 0 < allow_below <= cut_above "
+                f"<= suspend_above, got {self!r}"
+            )
+
+
+class InterferenceScoreController(ColocationController):
+    """One machine's interference-score decision loop."""
+
+    def __init__(
+        self,
+        servpod: str,
+        sla_ms: float,
+        policy: InterferencePolicy = InterferencePolicy(),
+    ) -> None:
+        super().__init__(servpod, sla_ms)
+        self.policy = policy
+        self._score: float = 0.0
+        self._seen: bool = False
+
+    def _decide(self, load: float, tail_ms: float) -> BeAction:
+        p = self.policy
+        raw = p.load_weight * min(1.0, load) + p.tail_weight * (
+            tail_ms / self.sla_ms
+        )
+        if self._seen:
+            self._score = self._score + p.ema_alpha * (raw - self._score)
+        else:
+            self._score = raw
+            self._seen = True
+        if tail_ms >= self.sla_ms:
+            return BeAction.STOP_BE
+        if self._score > p.suspend_above:
+            return BeAction.SUSPEND_BE
+        if self._score > p.cut_above:
+            return BeAction.CUT_BE
+        if self._score >= p.allow_below:
+            return BeAction.DISALLOW_BE_GROWTH
+        return BeAction.ALLOW_BE_GROWTH
+
+
+def interference_controllers(
+    service: ServiceSpec, policy: InterferencePolicy = InterferencePolicy()
+) -> Dict[str, InterferenceScoreController]:
+    """One interference-scoring controller per Servpod machine."""
+    return {
+        pod: InterferenceScoreController(pod, service.sla_ms, policy)
+        for pod in service.servpod_names
+    }

@@ -17,10 +17,8 @@ from repro.workloads.spec import ServiceSpec
 class _SoloController(TopController):
     """A controller that never allows any BE job to run."""
 
-    def decide(self, load: float, tail_ms: float, t=None) -> BeAction:
+    def _decide(self, load: float, tail_ms: float) -> BeAction:
         """Always stop BE jobs, regardless of load or slack."""
-        if t is not None:
-            self._history.append((t, BeAction.STOP_BE))
         return BeAction.STOP_BE
 
 

@@ -60,7 +60,14 @@ from repro.errors import CacheKeyError
 #: percentiles, cumsum folds). The rewrite is pinned bit-identical, but
 #: :4 entries predate the pin and the store now carries a new entry
 #: family, so every :4 entry must miss.
-CODE_VERSION_SALT = "rhythm-repro-cache:5"
+#: :6 — the controller interface extraction rewired the decision path
+#: of every cached simulation (TopController now routes through
+#: ``ColocationController.decide``) and the store gained the
+#: ``bakeoff-cell`` entry family, keyed per controller member (see
+#: :func:`repro.experiments.bakeoff.bakeoff_cell_key`). The refactor is
+#: pinned bit-identical, but :5 entries predate the bake-off identity
+#: pin and must miss.
+CODE_VERSION_SALT = "rhythm-repro-cache:6"
 
 _PRIMITIVE_TAGS = {
     type(None): b"N",

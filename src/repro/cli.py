@@ -377,6 +377,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
 
     from repro.cache import default_store
     from repro.experiments.fleet import (
+        _DEFAULT_SERVICES,
         FleetCacheStats,
         FleetConfig,
         alibaba_fleet,
@@ -400,7 +401,9 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             policy=policy,
             duration_s=args.duration,
             seed=args.seed,
+            services=args.services or _DEFAULT_SERVICES,
             config=config,
+            load=args.load,
         )
         start = time.perf_counter()
         result = fleet.run(cache=cache)
@@ -450,6 +453,88 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(reports, fh, indent=2)
         print(f"wrote fleet report to {args.json}")
+    return 0
+
+
+def cmd_bakeoff(args: argparse.Namespace) -> int:
+    """League-table a roster of controllers over one seeded scenario grid."""
+    import time
+
+    from repro.cache import default_store
+    from repro.experiments.bakeoff import (
+        BakeoffConfig,
+        bakeoff_scenario_grid,
+        heracles_member,
+        interference_member,
+        predictive_member,
+        rhythm_member,
+        run_bakeoff,
+    )
+
+    factories = {
+        "rhythm": lambda: rhythm_member(args.service, seed=args.seed),
+        "heracles": lambda: heracles_member(args.service),
+        "interference": lambda: interference_member(),
+        "predictive": lambda: predictive_member(),
+    }
+    members = [factories[name]() for name in args.members]
+    scenarios = bakeoff_scenario_grid(
+        service=args.service,
+        loads=args.loads or (0.25, 0.45, 0.65),
+        be_jobs=args.be_jobs or ("stream-llc", "wordcount"),
+        duration_s=args.duration,
+        seed=args.seed,
+        faults_per_minute=args.faults_per_minute,
+    )
+    config = BakeoffConfig(duration_s=args.duration)
+    cache = default_store() if args.cache else None
+    start = time.perf_counter()
+    result = run_bakeoff(scenarios, members, config, cache=cache)
+    elapsed = time.perf_counter() - start
+    league = result.league()
+    print(render_table(
+        ["#", "Member", "scenarios", "SLA viols", "worst p99/SLA",
+         "BE tput", "EMU", "kills"],
+        [[row.rank, row.member, row.scenarios, row.sla_violations,
+          f"{row.worst_tail_over_sla:.2f}", f"{row.be_throughput:.4f}",
+          f"{row.emu:.4f}", row.be_kills] for row in league],
+        title=f"Bake-off — {len(scenarios)} scenario(s) x {len(members)} "
+              f"member(s), {args.duration:g}s each, seed {args.seed}",
+    ))
+    print(
+        f"shared pass: {result.passes} simulation(s), {result.forks} forks, "
+        f"{result.merges} merges, {result.branch_ticks}/{result.member_ticks} "
+        f"branch-ticks ({result.shared_fraction:.0%} physics shared), "
+        f"{elapsed:.1f}s wall"
+    )
+    if result.cache is not None:
+        print(
+            f"cache: {result.cache.hits} hits, {result.cache.misses} misses, "
+            f"{result.cache.skipped} uncached of {result.cache.total} cells"
+        )
+    if args.json:
+        payload = {
+            "service": args.service,
+            "duration_s": args.duration,
+            "seed": args.seed,
+            "digest": result.digest,
+            "passes": result.passes,
+            "forks": result.forks,
+            "merges": result.merges,
+            "branch_ticks": result.branch_ticks,
+            "member_ticks": result.member_ticks,
+            "league": [asdict(row) for row in league],
+            "cells": [asdict(cell) for cell in result.cells],
+        }
+        if result.cache is not None:
+            payload["cache"] = {
+                "hits": result.cache.hits,
+                "misses": result.cache.misses,
+                "skipped": result.cache.skipped,
+            }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote bake-off report to {args.json}")
     return 0
 
 
@@ -576,11 +661,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policies", nargs="*", default=["rhythm", "heracles"],
                    choices=["rhythm", "heracles"],
                    help="controller policies to run (default: both)")
+    p.add_argument("--load", choices=["diurnal", "alibaba"], default="diurnal",
+                   help="per-instance load: parametric diurnal cycles or "
+                        "replayed Alibaba cluster-trace-v2018 machine days")
+    p.add_argument("--services", nargs="*", default=None,
+                   help="LC service catalog entries cycled across instances "
+                        "(default: Redis); mixing entries gives a "
+                        "heterogeneous fleet")
     p.add_argument("--cache", action=argparse.BooleanOptionalAction, default=True,
                    help="reuse cached per-zone fleet results and cache new "
                         "ones (also honors RHYTHM_CACHE=off)")
     p.add_argument("--json", default=None, help="dump the fleet report here")
     p.set_defaults(fn=cmd_fleet)
+
+    p = sub.add_parser(
+        "bakeoff",
+        help="single-pass controller bake-off with a league table",
+    )
+    p.add_argument("--service", default="Redis",
+                   help="LC service the roster competes on (default Redis)")
+    p.add_argument("--members", nargs="*",
+                   default=["rhythm", "heracles", "interference", "predictive"],
+                   choices=["rhythm", "heracles", "interference", "predictive"],
+                   help="controller roster (default: all four)")
+    p.add_argument("--loads", nargs="*", type=float, default=None,
+                   help="diurnal base-load grid points (default 0.25 0.45 0.65)")
+    p.add_argument("--be-jobs", nargs="*", default=None,
+                   help="co-located BE jobs (default stream-llc wordcount)")
+    p.add_argument("--duration", type=float, default=120.0,
+                   help="simulated seconds per scenario (default 120)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--faults-per-minute", type=float, default=0.0,
+                   help="per-scenario seeded fault rate (default: healthy)")
+    p.add_argument("--cache", action=argparse.BooleanOptionalAction, default=True,
+                   help="reuse cached per-(scenario, member) cells and cache "
+                        "new ones (also honors RHYTHM_CACHE=off)")
+    p.add_argument("--json", default=None, help="dump the bake-off report here")
+    p.set_defaults(fn=cmd_bakeoff)
 
     p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)

@@ -20,9 +20,9 @@ makes Rhythm scale with the number of Servpods.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
 
 from repro.core.actions import BeAction
+from repro.core.controller import ColocationController
 from repro.errors import ControlError
 
 #: The paper's control period in seconds.
@@ -43,7 +43,7 @@ class ControllerThresholds:
             raise ControlError(f"slacklimit must be in (0,1], got {self.slacklimit!r}")
 
 
-class TopController:
+class TopController(ColocationController):
     """Algorithm 2's decision loop for one machine.
 
     Parameters
@@ -69,55 +69,27 @@ class TopController:
         sla_ms: float,
         suspend_on_load_at_or_above: bool = False,
     ) -> None:
-        if sla_ms <= 0:
-            raise ControlError(f"SLA must be positive, got {sla_ms!r}")
-        self.servpod = servpod
+        super().__init__(servpod, sla_ms)
         self.thresholds = thresholds
-        self.sla_ms = float(sla_ms)
         self.suspend_on_load_at_or_above = suspend_on_load_at_or_above
-        self._history: List[Tuple[float, BeAction]] = []
 
     # -- the decision function (Algorithm 2) ------------------------------------
 
-    def slack(self, tail_ms: float) -> float:
-        """Latency slack; negative when the SLA is violated."""
-        return (self.sla_ms - tail_ms) / self.sla_ms
-
-    def decide(self, load: float, tail_ms: float, t: Optional[float] = None) -> BeAction:
+    def _decide(self, load: float, tail_ms: float) -> BeAction:
         """One Algorithm-2 decision given the monitored load and tail."""
-        if load < 0:
-            raise ControlError(f"negative load {load!r}")
         slack = self.slack(tail_ms)
         limit = self.thresholds
         if slack < 0:
-            action = BeAction.STOP_BE
-        elif self._load_exceeds(load):
-            action = BeAction.SUSPEND_BE
-        elif 0 <= slack < limit.slacklimit / 2.0:
-            action = BeAction.CUT_BE
-        elif slack < limit.slacklimit:
-            action = BeAction.DISALLOW_BE_GROWTH
-        else:
-            action = BeAction.ALLOW_BE_GROWTH
-        if t is not None:
-            self._history.append((t, action))
-        return action
+            return BeAction.STOP_BE
+        if self._load_exceeds(load):
+            return BeAction.SUSPEND_BE
+        if 0 <= slack < limit.slacklimit / 2.0:
+            return BeAction.CUT_BE
+        if slack < limit.slacklimit:
+            return BeAction.DISALLOW_BE_GROWTH
+        return BeAction.ALLOW_BE_GROWTH
 
     def _load_exceeds(self, load: float) -> bool:
         if self.suspend_on_load_at_or_above:
             return load >= self.thresholds.loadlimit
         return load > self.thresholds.loadlimit
-
-    # -- introspection ------------------------------------------------------
-
-    @property
-    def history(self) -> List[Tuple[float, BeAction]]:
-        """Timestamped decisions (only recorded when ``t`` was passed)."""
-        return list(self._history)
-
-    def action_counts(self) -> dict:
-        """How many times each action was taken."""
-        counts = {action: 0 for action in BeAction}
-        for _, action in self._history:
-            counts[action] += 1
-        return counts

@@ -46,7 +46,11 @@ from repro.loadgen.patterns import LoadPattern
 from repro.metrics.collector import MachineMetrics
 from repro.metrics.percentile import HistogramTailTracker, percentile
 from repro.sim.engine import Engine
-from repro.sim.kernel import BatchedColocationKernel, resolve_kernel
+from repro.sim.kernel import (
+    BatchedColocationKernel,
+    percentile_linear,
+    resolve_kernel,
+)
 from repro.sim.rng import RandomStreams
 from repro.workloads.service import Service, ServiceState
 from repro.workloads.spec import ServiceSpec
@@ -346,6 +350,10 @@ class ColocationExperiment:
         if self._tail_estimator is not None:
             self._tail_estimator.add_samples(latencies)
             return float(self._tail_estimator.roll_window() or 0.0)
+        lat = np.asarray(latencies, dtype=np.float64)
+        if lat.ndim == 1 and lat.size:
+            # percentile_linear is pinned bitwise to np.percentile.
+            return percentile_linear(lat, self.spec.tail_percentile)
         return float(percentile(latencies, self.spec.tail_percentile))
 
     def _advance_be(

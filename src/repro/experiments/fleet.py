@@ -914,6 +914,7 @@ def alibaba_fleet(
     services: Sequence[str] = _DEFAULT_SERVICES,
     flash_crowd_fraction: float = 0.2,
     config: Optional[FleetConfig] = None,
+    load: str = "diurnal",
 ) -> FleetExperiment:
     """A synthetic Alibaba-shaped fleet of at least ``n_machines`` machines.
 
@@ -926,6 +927,13 @@ def alibaba_fleet(
 
     ``policy`` selects ``"rhythm"`` (profiled per-pod thresholds) or
     ``"heracles"`` (uniform 0.85/0.10 with suspend-at-limit).
+
+    ``load="alibaba"`` replays the bundled cluster-trace-v2018 machine
+    days (:func:`~repro.loadgen.alibaba.alibaba_machine_load`, cycled
+    across instances) instead of the parametric diurnal cycle; the
+    flash-crowd superimposition still applies. The jitter PRNG draws
+    identically in both modes, so switching the load mode never
+    perturbs which instances get crowds, seeds, or BE mixes.
     """
     if n_machines < 1:
         raise ConfigurationError(f"n_machines must be >= 1, got {n_machines}")
@@ -933,8 +941,17 @@ def alibaba_fleet(
         raise ConfigurationError(
             f"policy must be 'rhythm' or 'heracles', got {policy!r}"
         )
+    if load not in ("diurnal", "alibaba"):
+        raise ConfigurationError(
+            f"load must be 'diurnal' or 'alibaba', got {load!r}"
+        )
     if not services:
         raise ConfigurationError("need at least one LC service name")
+    trace_ids: Tuple[str, ...] = ()
+    if load == "alibaba":
+        from repro.loadgen.alibaba import alibaba_machine_ids
+
+        trace_ids = alibaba_machine_ids()
     policy_cache: Dict[str, Dict[str, PodPolicy]] = {}
     pods_per_service: Dict[str, int] = {}
     for name in services:
@@ -950,12 +967,21 @@ def alibaba_fleet(
     k = 0
     while machines < n_machines:
         name = services[k % len(services)]
+        # Drawn in both load modes (unused under "alibaba") so the
+        # jitter stream stays mode-invariant past this point.
         base = 0.45 + jitter.uniform(-0.05, 0.10)
         amplitude = 0.20 + jitter.uniform(0.0, 0.10)
         phase = jitter.uniform(0.0, duration_s)
-        pattern: LoadPattern = DiurnalLoad(
-            base=base, amplitude=amplitude, period_s=duration_s, phase_s=phase
-        )
+        if load == "alibaba":
+            from repro.loadgen.alibaba import alibaba_machine_load
+
+            pattern: LoadPattern = alibaba_machine_load(
+                trace_ids[k % len(trace_ids)]
+            )
+        else:
+            pattern = DiurnalLoad(
+                base=base, amplitude=amplitude, period_s=duration_s, phase_s=phase
+            )
         crowd_roll = jitter.random()
         crowd_start = jitter.uniform(0.2, 0.7) * duration_s
         crowd_peak = jitter.uniform(0.15, 0.35)

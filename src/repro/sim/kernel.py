@@ -51,9 +51,11 @@ the sharing).
 
 from __future__ import annotations
 
+import copy
 import heapq
 import math
 import os
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -69,7 +71,7 @@ from repro.core.actions import BeAction
 from repro.errors import ConfigurationError
 from repro.interference.model import Pressure
 from repro.interference.sensitivity import PRESSURE_KINDS
-from repro.metrics.collector import TickSample
+from repro.metrics.collector import MachineMetrics, TickSample
 from repro.workloads.latency import LatencyModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -109,17 +111,30 @@ def resolve_kernel(explicit: Optional[str] = None) -> str:
 
 
 class _MachineMirror:
-    """Flat per-job arrays for one machine's *running* BE jobs.
+    """Flat per-job rows for one machine's *running* BE jobs.
 
     Rebuilt whenever ``Machine.version`` moves (launch/kill/grow/shrink/
     suspend/resume); between bumps every cached value is exactly what
     the scalar :func:`~repro.bejobs.job.compute_be_rates` would
-    recompute from the same allocations.
+    recompute from the same allocations. Rows are python lists, not
+    arrays: a machine holds at most a handful of BE jobs, so the fused
+    scalar loop in :meth:`BeRateKernel.be_rates` beats whole-array
+    numpy on dispatch cost alone — and elementwise float64 equals
+    python-float arithmetic bit for bit, so the identity pin holds.
+
+    ``row_cache`` (per machine, owned by :class:`BeRateKernel`) carries
+    individual job rows across rebuilds: a row depends only on the
+    job's frozen spec and its ``(cores, llc_ways)`` allocation, so a
+    version bump that touches one job (launch, grow) can reuse every
+    other job's row verbatim. Cached rows are the exact floats the
+    uncached branch computes, and the totals folds below always run in
+    job order over those values, so rounding is unchanged.
     """
 
     __slots__ = (
         "version",
         "job_ids",
+        "jobs",
         "cpu_base",
         "req_cpu",
         "llc_ratio",
@@ -134,9 +149,18 @@ class _MachineMirror:
         "busy_cores",
         "llc_demand_total",
         "llc_occupied_total",
+        "p_cpu",
+        "p_llc",
+        "last_rates",
     )
 
-    def __init__(self, machine: Machine, jobs: Sequence) -> None:
+    def __init__(
+        self,
+        machine: Machine,
+        jobs: Sequence,
+        isolation=None,
+        row_cache: Optional[Dict[tuple, tuple]] = None,
+    ) -> None:
         self.version = machine.version
         total_cores = machine.spec.cores
         running = [
@@ -148,15 +172,17 @@ class _MachineMirror:
         ]
         n = len(running)
         self.job_ids: List[str] = [job.job_id for job in running]
-        cpu_base = np.empty(n)
-        req_cpu = np.empty(n)
-        llc_ratio = np.empty(n)
-        membw = np.empty(n)
-        membw_div = np.empty(n)
-        membw_mask = np.empty(n, dtype=bool)
-        net = np.empty(n)
-        net_div = np.empty(n)
-        net_mask = np.empty(n, dtype=bool)
+        self.jobs = running
+        self.last_rates: List[float] = []
+        cpu_base: List[float] = [0.0] * n
+        req_cpu: List[float] = [0.0] * n
+        llc_ratio: List[float] = [0.0] * n
+        membw: List[float] = [0.0] * n
+        membw_div: List[float] = [0.0] * n
+        membw_mask: List[bool] = [False] * n
+        net: List[float] = [0.0] * n
+        net_div: List[float] = [0.0] * n
+        net_mask: List[bool] = [False] * n
         # Scalar-order python folds: compute_be_rates accumulates these
         # with ``+=`` over the running list, so the cached totals carry
         # the exact same rounding.
@@ -169,24 +195,50 @@ class _MachineMirror:
             spec = job.spec
             alloc = machine.be_allocation(job.job_id)
             cores = alloc.cores
-            llc_granted = alloc.llc_ways / machine.llc.n_ways
-            llc_demand = spec.demand_fraction("llc", cores, total_cores)
-            membw_demand = spec.demand_fraction("membw", cores, total_cores)
-            membw_demand += LLC_SPILL_TO_MEMBW * max(0.0, llc_demand - llc_granted)
-            membw_i = min(1.0, membw_demand)
-            net_i = spec.demand_fraction("net", cores, total_cores)
-            cpu_base[i] = cores / total_cores
-            req_cpu[i] = min(1.0, spec.saturation_cores / total_cores)
-            llc_usage = spec.usage("llc")
-            llc_ratio[i] = llc_granted / llc_usage if llc_usage > 0 else np.inf
+            row_key = (job.job_id, spec.name, cores, alloc.llc_ways)
+            row = None if row_cache is None else row_cache.get(row_key)
+            if row is None:
+                llc_granted = alloc.llc_ways / machine.llc.n_ways
+                llc_demand = spec.demand_fraction("llc", cores, total_cores)
+                membw_demand = spec.demand_fraction(
+                    "membw", cores, total_cores
+                )
+                membw_demand += LLC_SPILL_TO_MEMBW * max(
+                    0.0, llc_demand - llc_granted
+                )
+                membw_i = min(1.0, membw_demand)
+                net_i = spec.demand_fraction("net", cores, total_cores)
+                llc_usage = spec.usage("llc")
+                membw_usage = spec.usage("membw")
+                net_usage = spec.usage("net")
+                row = (
+                    llc_granted,
+                    llc_demand,
+                    cores / total_cores,
+                    min(1.0, spec.saturation_cores / total_cores),
+                    llc_granted / llc_usage if llc_usage > 0 else np.inf,
+                    membw_i,
+                    membw_usage > 0,
+                    membw_usage if membw_usage > 0 else 1.0,
+                    net_i,
+                    net_usage > 0,
+                    net_usage if net_usage > 0 else 1.0,
+                )
+                if row_cache is not None:
+                    row_cache[row_key] = row
+            llc_granted = row[0]
+            llc_demand = row[1]
+            cpu_base[i] = row[2]
+            req_cpu[i] = row[3]
+            llc_ratio[i] = row[4]
+            membw_i = row[5]
             membw[i] = membw_i
-            membw_usage = spec.usage("membw")
-            membw_mask[i] = membw_usage > 0
-            membw_div[i] = membw_usage if membw_usage > 0 else 1.0
+            membw_mask[i] = row[6]
+            membw_div[i] = row[7]
+            net_i = row[8]
             net[i] = net_i
-            net_usage = spec.usage("net")
-            net_mask[i] = net_usage > 0
-            net_div[i] = net_usage if net_usage > 0 else 1.0
+            net_mask[i] = row[9]
+            net_div[i] = row[10]
             total_membw_demand += membw_i
             total_net_demand += net_i
             busy_cores += cores
@@ -206,13 +258,55 @@ class _MachineMirror:
         self.busy_cores = busy_cores
         self.llc_demand_total = llc_demand_total
         self.llc_occupied_total = llc_occupied_total
+        # CPU and LLC pressure depend only on allocation state, so they
+        # are row-cacheable (membw/net pressure is per-tick). Same
+        # expressions as ``Pressure.from_be_snapshot`` over this
+        # mirror's totals.
+        if isolation is not None:
+            self.p_cpu = isolation.cpu_pressure(
+                min(1.0, busy_cores / total_cores)
+            )
+            self.p_llc = isolation.llc_pressure(
+                min(1.0, llc_occupied_total), min(1.0, llc_demand_total)
+            )
+        else:
+            self.p_cpu = 0.0
+            self.p_llc = 0.0
 
 
 class BeRateKernel:
-    """Vectorized, mirror-cached replacement for ``compute_be_rates``."""
+    """Mirror-cached, scalar-fused replacement for ``compute_be_rates``."""
 
-    def __init__(self) -> None:
+    def __init__(self, isolation=None) -> None:
         self._mirrors: Dict[str, _MachineMirror] = {}
+        self._isolation = isolation
+        # Per-machine job-row caches shared across mirror rebuilds (see
+        # the ``row_cache`` note on :class:`_MachineMirror`).
+        self._rows: Dict[str, Dict[tuple, tuple]] = {}
+
+    def mirror(self, machine: Machine) -> _MachineMirror:
+        """The current (freshly validated) mirror for ``machine``.
+
+        Valid immediately after a same-tick :meth:`be_rates` call; the
+        cached ``p_cpu``/``p_llc`` and ``last_rates`` belong to that
+        call's allocation state and rate computation.
+        """
+        return self._mirrors[machine.spec.name]
+
+    def advance_be(self, machine: Machine, dt: float) -> None:
+        """Phase-3 BE progress from the mirror's cached job rows.
+
+        Bit-identical to ``ColocationExperiment._advance_be`` for this
+        machine's pod: the same two ``+=`` folds per running job, in the
+        same job order, at the rates just computed by :meth:`be_rates`
+        (mirror membership == ``pool.running()`` with a live allocation,
+        and any suspend/resume/kill bumps ``Machine.version`` which
+        rebuilds the mirror before the next call).
+        """
+        mirror = self._mirrors[machine.spec.name]
+        for job, rate in zip(mirror.jobs, mirror.last_rates):
+            job.normalized_work += dt * rate
+            job.running_seconds += dt
 
     def be_rates(
         self, machine: Machine, jobs: Sequence, lc_usage: LcUsage
@@ -220,7 +314,10 @@ class BeRateKernel:
         """Bit-identical to ``compute_be_rates(machine, jobs, lc_usage)``."""
         mirror = self._mirrors.get(machine.spec.name)
         if mirror is None or mirror.version != machine.version:
-            mirror = _MachineMirror(machine, jobs)
+            rows = self._rows.get(machine.spec.name)
+            if rows is None:
+                rows = self._rows[machine.spec.name] = {}
+            mirror = _MachineMirror(machine, jobs, self._isolation, rows)
             self._mirrors[machine.spec.name] = mirror
         if not mirror.job_ids:
             # The scalar path returns before touching the NIC when no
@@ -242,36 +339,47 @@ class BeRateKernel:
             else 1.0
         )
 
-        # Leontief rates across all jobs at once. min() over the scalar
-        # ratio list is order-insensitive for non-NaN floats, so chained
-        # np.minimum reproduces it exactly; resources a job does not use
-        # contribute +inf, exactly like the scalar path's absent ratios.
-        ratios = (mirror.cpu_base * freq_ratio) / mirror.req_cpu
-        ratios = np.minimum(ratios, mirror.llc_ratio)
-        granted_membw = mirror.membw * membw_scale
-        ratios = np.minimum(
-            ratios,
-            np.where(mirror.membw_mask, granted_membw / mirror.membw_div, np.inf),
-        )
-        granted_net = mirror.net * net_scale
-        ratios = np.minimum(
-            ratios,
-            np.where(mirror.net_mask, granted_net / mirror.net_div, np.inf),
-        )
-        rate_arr = np.maximum(0.0, np.minimum(1.0, ratios))
-
-        rates = {
-            job_id: float(rate)
-            for job_id, rate in zip(mirror.job_ids, rate_arr)
-        }
-        # Scalar-order folds of the granted shares (n <= max BE
-        # instances, so plain python folds are cheap and bit-exact).
+        # Leontief rates, one fused scalar pass per job — the same
+        # min-chain the scalar path folds per job (resources a job does
+        # not use are simply skipped, exactly like its absent ratios),
+        # and the same left-to-right ``+=`` folds over granted shares.
+        cpu_base = mirror.cpu_base
+        req_cpu = mirror.req_cpu
+        llc_ratio = mirror.llc_ratio
+        membw = mirror.membw
+        membw_mask = mirror.membw_mask
+        membw_div = mirror.membw_div
+        net = mirror.net
+        net_mask = mirror.net_mask
+        net_div = mirror.net_div
+        rates: Dict[str, float] = {}
+        rate_list: List[float] = []
         membw_used = 0.0
-        for g in granted_membw.tolist():
-            membw_used += g
         net_used = 0.0
-        for g in granted_net.tolist():
-            net_used += g
+        for j, job_id in enumerate(mirror.job_ids):
+            r = (cpu_base[j] * freq_ratio) / req_cpu[j]
+            lr = llc_ratio[j]
+            if lr < r:
+                r = lr
+            g_m = membw[j] * membw_scale
+            if membw_mask[j]:
+                q = g_m / membw_div[j]
+                if q < r:
+                    r = q
+            g_n = net[j] * net_scale
+            if net_mask[j]:
+                q = g_n / net_div[j]
+                if q < r:
+                    r = q
+            if r > 1.0:
+                r = 1.0
+            elif r < 0.0:
+                r = 0.0
+            rates[job_id] = r
+            rate_list.append(r)
+            membw_used += g_m
+            net_used += g_n
+        mirror.last_rates = rate_list
         return BeResourceSnapshot(
             busy_cores=mirror.busy_cores,
             membw_fraction=min(1.0, membw_used),
@@ -570,11 +678,68 @@ class BatchedColocationKernel:
             pod: self._servpods[pod].effective_sensitivity()
             for pod in self._pods
         }
-        self._be = BeRateKernel()
+        self._be = BeRateKernel(experiment.config.isolation)
         self._sampler = BatchedServiceSampler(experiment.service)
+        # Flat slowdown constants: the sensitivity coefficients in
+        # ``PRESSURE_KINDS`` order plus the interference model's scalar
+        # parameters, hoisted so healthy ticks run the fused fold below
+        # instead of the object path (same arithmetic, same fold order).
+        model = experiment.config.interference
+        self._sens_coeffs = {
+            pod: tuple(
+                self._sensitivities[pod].coefficient(kind)
+                for kind in PRESSURE_KINDS
+            )
+            for pod in self._pods
+        }
+        self._model_consts = (
+            model.gamma,
+            model.beta,
+            model.headroom,
+            model.sigma_coupling,
+            model.sigma_cap,
+        )
+        # BE counter gauges (instances / cores / LLC ways) per pod,
+        # keyed by ``Machine.version`` — every allocation change bumps
+        # it, so a hit is exactly the genexpr-sum recomputation.
+        self._counter_cache: Dict[str, Tuple[int, Tuple[int, int, int]]] = {}
+
+    def be_counters(self, pod: str) -> Tuple[int, int, int]:
+        """``(be_instance_count, be_total_cores, be_total_llc_ways)``
+        for ``pod``'s machine, cached on ``Machine.version``."""
+        machine = self._machines[pod]
+        cached = self._counter_cache.get(pod)
+        if cached is not None and cached[0] == machine.version:
+            return cached[1]
+        gauges = (
+            machine.be_instance_count,
+            machine.be_total_cores,
+            machine.be_total_llc_ways,
+        )
+        self._counter_cache[pod] = (machine.version, gauges)
+        return gauges
 
     def tick(self, t: float, dt: float) -> None:
         """One control period, bit-identical to the scalar ``_tick``."""
+        exp = self._exp
+        load, tail_ms, window_closed, snapshots, usages = self.observe(t, dt)
+        exp._control_phase(
+            t, dt, load, tail_ms, window_closed, snapshots, usages
+        )
+
+    def observe(
+        self, t: float, dt: float
+    ) -> Tuple[float, float, bool, Dict[str, BeResourceSnapshot], Dict[str, LcUsage]]:
+        """Phases 0-3 of one control period: everything up to (but not
+        including) the control decisions.
+
+        Faults advance, the load window opens, BE rates / pressure /
+        Servpod slowdowns are computed, latencies are sampled and BE
+        progress integrates — all of it controller-independent, which is
+        what lets :class:`BakeoffKernel` share one ``observe`` pass
+        across several controller sets. Returns the control-phase inputs
+        ``(load, tail_ms, window_closed, snapshots, usages)``.
+        """
         exp = self._exp
         model = exp.config.interference
         injector = exp._fault_injector
@@ -582,12 +747,18 @@ class BatchedColocationKernel:
         load = window.load
         realized = window.realized_load
 
-        # Phase 1: physics across all pods — vectorized BE rates per
-        # machine, shared scalar pressure/slowdown math on top.
+        # Phase 1: physics across all pods — fused scalar BE rates per
+        # machine, shared pressure/slowdown math on top. Healthy ticks
+        # run the flat fold (same expressions, same fold order as
+        # ``InterferenceModel.slowdown`` over a ``Pressure`` built by
+        # ``from_be_snapshot`` — the identity tests pin both); faulted
+        # experiments keep the object path, whose injector hooks rewrite
+        # the pressure vector wholesale.
         slowdowns: Dict[str, float] = {}
         inflations: Dict[str, float] = {}
         snapshots: Dict[str, BeResourceSnapshot] = {}
         usages: Dict[str, LcUsage] = {}
+        gamma, beta, hroom, coup, cap = self._model_consts
         for pod in self._pods:
             machine = self._machines[pod]
             run = exp._runs[pod]
@@ -595,21 +766,54 @@ class BatchedColocationKernel:
             exp._network.apply(machine, usage.net_gbps)
             snapshot = self._be.be_rates(machine, run.pool.jobs(), usage)
             snapshots[pod] = snapshot
-            pressure = Pressure.from_be_snapshot(
-                snapshot,
-                machine.spec.cores,
-                exp.config.isolation,
-                lc_freq_ratio=machine.dvfs.ratio(LC_DOMAIN),
-            )
-            if injector is not None:
+            if injector is None:
+                mirror = self._be.mirror(machine)
+                p_cpu = mirror.p_cpu
+                p_llc = mirror.p_llc
+                p_membw = snapshot.membw_fraction
+                p_net = snapshot.net_fraction
+                p_freq = 1.0 - machine.dvfs.ratio(LC_DOMAIN)
+                if p_freq < 0.0:
+                    p_freq = 0.0
+                if (
+                    p_cpu == 0.0
+                    and p_llc == 0.0
+                    and p_membw == 0.0
+                    and p_net == 0.0
+                    and p_freq == 0.0
+                ):
+                    slowdown = 1.0
+                else:
+                    c = self._sens_coeffs[pod]
+                    impact = c[0] * p_cpu**gamma
+                    impact = impact + c[1] * p_llc**gamma
+                    impact = impact + c[2] * p_membw**gamma
+                    impact = impact + c[3] * p_net**gamma
+                    impact = impact + c[4] * p_freq**gamma
+                    lo = realized
+                    if lo < 0.0:
+                        lo = 0.0
+                    elif lo > 1.0:
+                        lo = 1.0
+                    amp = 1.0 + beta * lo / (hroom + (1.0 - lo))
+                    slowdown = 1.0 + amp * impact
+                infl = 1.0 + coup * (slowdown - 1.0)
+                slowdowns[pod] = slowdown
+                inflations[pod] = infl if infl < cap else cap
+            else:
+                pressure = Pressure.from_be_snapshot(
+                    snapshot,
+                    machine.spec.cores,
+                    exp.config.isolation,
+                    lc_freq_ratio=machine.dvfs.ratio(LC_DOMAIN),
+                )
                 pressure = injector.adjust_pressure(machine, pressure)
-            slowdown = model.slowdown(
-                self._sensitivities[pod], pressure, realized
-            )
-            if injector is not None:
+                slowdown = model.slowdown(
+                    self._sensitivities[pod], pressure, realized
+                )
                 slowdown *= injector.stall_factor(machine.spec.name)
-            slowdowns[pod] = slowdown
-            inflations[pod] = model.sigma_inflation(slowdown)
+                slowdowns[pod] = slowdown
+                inflations[pod] = model.sigma_inflation(slowdown)
 
         # Phase 2: batched latency sampling over per-tick pod arrays.
         if window.n_samples > 0:
@@ -622,12 +826,14 @@ class BatchedColocationKernel:
             tail_ms = 0.0
             window_closed = False
 
-        # Phases 3-4: shared scalar helpers (cheap; world mutation must
-        # go through the same code as the reference path).
-        exp._advance_be(dt, snapshots)
-        exp._control_phase(
-            t, dt, load, tail_ms, window_closed, snapshots, usages
-        )
+        # Phase 3: BE progress from the mirrors' cached job rows —
+        # bit-identical to ``exp._advance_be(dt, snapshots)`` (see
+        # :meth:`BeRateKernel.advance_be`); job-level accumulation is
+        # independent across pods, so pod order cannot matter.
+        be = self._be
+        for pod in self._pods:
+            be.advance_be(self._machines[pod], dt)
+        return load, tail_ms, window_closed, snapshots, usages
 
 
 # ---------------------------------------------------------------------------
@@ -1834,3 +2040,517 @@ class FleetColocationKernel:
                 machine.dvfs.set_frequency(BE_DOMAIN, freq_l[m])
             if net_l is not None:
                 machine.nic.observe_lc_traffic(net_l[m])
+
+
+# ---------------------------------------------------------------------------
+# Bake-off: many controller sets over one shared physics pass
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BakeoffStats:
+    """Sharing accounting of one :class:`BakeoffKernel` run.
+
+    ``branch_ticks`` counts physics passes actually executed (one per
+    live branch per tick); running the ``members`` controller sets
+    independently would cost ``members * ticks`` passes, so the saving
+    is their difference.
+    """
+
+    members: int = 0
+    ticks: int = 0
+    branch_ticks: int = 0
+    forks: int = 0
+    merges: int = 0
+    max_branches: int = 0
+
+    @property
+    def physics_passes_saved(self) -> int:
+        """Physics passes avoided vs independent per-member runs."""
+        return self.members * self.ticks - self.branch_ticks
+
+    @property
+    def shared_fraction(self) -> float:
+        """Fraction of the independent-run physics cost avoided."""
+        total = self.members * self.ticks
+        return self.physics_passes_saved / total if total else 0.0
+
+
+class _BakeoffMember:
+    """One controller set racing in the bake-off, with its own metrics."""
+
+    __slots__ = (
+        "name",
+        "controllers",
+        "metrics",
+        "kill_offset",
+        "susp_offset",
+        "actions",
+    )
+
+    def __init__(self, name, controllers, metrics) -> None:
+        self.name = name
+        self.controllers = controllers
+        self.metrics = metrics
+        # Integer counter virtualisation: this member's independent-run
+        # kill/suspension totals equal its branch world's totals plus
+        # these offsets. Exact integer arithmetic, adjusted only at
+        # merge time, so no float associativity is ever at stake.
+        self.kill_offset = 0
+        self.susp_offset = 0
+        self.actions: Dict[str, BeAction] = {}
+
+
+#: Distinct-from-everything marker for the memo-normalisation lookup
+#: (``None`` is a real verdict there, so ``dict.get`` needs a third state).
+_UNRESOLVED = object()
+
+
+def _memo_key(pod: str, action: BeAction, machine) -> Tuple:
+    """The no-op memo key for one pod's pending action.
+
+    ``version``/``mem_version`` witness every BE-visible allocation
+    change, but fault injection moves capacity *without* bumping them:
+    ``offline_cores``/``fault_llc_ways`` park cores and cache ways under
+    the fault owner and the restore hands them straight back to the free
+    pool. A memoized "ALLOW was a no-op" verdict recorded while capacity
+    was fault-held would otherwise stay live after the restore and skip
+    a launch that the scalar engine performs. Including the fault-held
+    counts in the key invalidates the memo across every such transition.
+    """
+    return (
+        pod,
+        action,
+        machine.version,
+        machine.mem_version,
+        machine.offlined_cores,
+        machine.lost_llc_ways,
+    )
+
+
+class _BakeoffBranch:
+    """One materialised world shared by members whose decisions agree."""
+
+    __slots__ = ("exp", "kernel", "members", "memo")
+
+    def __init__(self, exp, kernel, members, memo) -> None:
+        self.exp = exp
+        self.kernel = kernel
+        self.members = members  # member indices, ascending
+        # No-op memo in the FleetColocationKernel style: a key (see
+        # :func:`_memo_key`) enters only after an apply that provably
+        # changed nothing, so skipping a repeat cannot change state
+        # (STOP never enters — its DVFS reset is a side effect the key
+        # cannot witness). Used both to skip repeated applies and to
+        # *normalise* action vectors before divergence partitioning:
+        # two members whose actions differ only on memoized-no-op pods
+        # share one world mutation.
+        self.memo = memo
+
+
+class BakeoffKernel:
+    """Runs N controller sets over one seeded scenario in a single pass.
+
+    The controller-independent physics of a tick — fault advance, load
+    window, BE rates, interference pressure, Servpod latency draws, BE
+    progress — runs **once per branch** through
+    :meth:`BatchedColocationKernel.observe` and is broadcast to every
+    member (controller set) on that branch. Members decide on the shared
+    observation and record their own metrics; their action vectors are
+    then normalised through the branch's no-op memo and partitioned.
+    One partition keeps the branch; each additional partition **forks**
+    a copy-on-write world (``copy.deepcopy`` of the experiment: machine
+    state, pools, RNG streams, fault injector) and applies its own
+    actions — so the cost of divergence is paid only when decisions
+    actually differ in effect.
+
+    Because controller decisions never change RNG *consumption* (window
+    sample counts and latency-draw shapes depend only on the load
+    pattern and the shared seed), every branch's streams stay bitwise
+    equal, and branches whose worlds re-converge — same live jobs, same
+    allocations and float progress, same DVFS/NIC state — are detected
+    by a state digest and **re-merged**, with per-member integer
+    kill/suspension counters virtualised via exact offsets.
+
+    Identity contract: for every member, the returned
+    ``ColocationResult`` and the final RNG stream states are
+    bit-identical to constructing a fresh ``ColocationExperiment`` with
+    that member's controllers over the same seeded scenario and calling
+    ``run()`` (``tests/test_bakeoff.py`` pins this in-process, across
+    fork/spawn, and under fault schedules).
+    """
+
+    def __init__(
+        self,
+        experiment: "ColocationExperiment",
+        members: "Dict[str, Dict[str, object]]",
+    ) -> None:
+        if not members:
+            raise ConfigurationError("bake-off needs at least one member")
+        if experiment.action_filter is not None:
+            raise ConfigurationError(
+                "bake-off does not compose with action_filter hooks"
+            )
+        pods = list(experiment._runs)
+        for name, controllers in members.items():
+            missing = set(pods) - set(controllers)
+            if missing:
+                raise ConfigurationError(
+                    f"member {name!r} lacks controllers for {sorted(missing)}"
+                )
+        self._exp = experiment
+        self._pods = pods
+        self._duration_s = experiment.config.duration_s
+        self._period_s = experiment.config.control_period_s
+        # Histogram tail estimators carry cross-tick state that the
+        # merge digest does not model; forking still works, merging is
+        # simply never attempted.
+        self._mergeable = experiment._tail_estimator is None
+        self._members: List[_BakeoffMember] = []
+        for name, controllers in members.items():
+            metrics = {
+                pod: MachineMetrics(
+                    machine_name=experiment.deployment.servpod(pod).machine.spec.name,
+                    servpod=pod,
+                    total_cores=experiment.deployment.servpod(pod).machine.spec.cores,
+                    sla_ms=experiment.spec.sla_ms,
+                    tail_pct=experiment.spec.tail_percentile,
+                )
+                for pod in pods
+            }
+            self._members.append(_BakeoffMember(name, dict(controllers), metrics))
+        # The root branch reuses the experiment's own batched kernel if
+        # present; ``_batched`` is then detached so world forks do not
+        # deepcopy SoA mirrors (each fork builds a fresh kernel whose
+        # mirrors rebuild on the next version check).
+        root_kernel = experiment._batched or BatchedColocationKernel(experiment)
+        experiment._batched = None
+        self._branches: List[_BakeoffBranch] = [
+            _BakeoffBranch(
+                experiment, root_kernel, list(range(len(self._members))), set()
+            )
+        ]
+        self.stats = BakeoffStats(members=len(self._members))
+        self._member_branch: Dict[str, _BakeoffBranch] = {}
+
+    # -- the run loop ---------------------------------------------------
+
+    def _tick_times(self) -> List[float]:
+        """The scalar engine's tick schedule, float accumulation and all."""
+        times: List[float] = []
+        t = self._period_s
+        if t <= self._duration_s:
+            times.append(t)
+            while True:
+                nxt = t + self._period_s
+                if nxt > self._duration_s:
+                    break
+                times.append(nxt)
+                t = nxt
+        return times
+
+    def run(self) -> "Dict[str, ColocationResult]":
+        """Run every member to completion; results keyed by member name."""
+        times = self._tick_times()
+        n_ticks = len(times)
+        self.stats.ticks = n_ticks
+        lsum = 0.0
+        pattern = self._exp.pattern
+        for t in times:
+            for branch in list(self._branches):
+                self._tick_branch(branch, t, self._period_s)
+            if self._mergeable and len(self._branches) > 1:
+                self._try_merge()
+            self.stats.max_branches = max(
+                self.stats.max_branches, len(self._branches)
+            )
+            lsum += min(1.0, max(0.0, pattern.load_at(t)))
+        lc_load_mean = lsum / max(1, n_ticks)
+        results: Dict[str, "ColocationResult"] = {}
+        for branch in self._branches:
+            for mi in branch.members:
+                member = self._members[mi]
+                self._member_branch[member.name] = branch
+                results[member.name] = self._member_result(
+                    member, branch, lc_load_mean, n_ticks
+                )
+        return {m.name: results[m.name] for m in self._members}
+
+    def member_streams(self, name: str):
+        """The final RNG streams of ``name``'s branch (after ``run``)."""
+        return self._member_branch[name].exp.streams
+
+    # -- one tick of one branch -----------------------------------------
+
+    def _tick_branch(self, branch: _BakeoffBranch, t: float, dt: float) -> None:
+        self.stats.branch_ticks += 1
+        exp = branch.exp
+        load, tail_ms, window_closed, snapshots, usages = branch.kernel.observe(
+            t, dt
+        )
+        machines = branch.kernel._machines
+
+        # Pre-apply machine gauges and per-pod sample fields, computed
+        # once and recorded for every member: the world is shared until
+        # the apply phase, so each member's scalar run would read these
+        # exact values.
+        pod_fields: Dict[str, Tuple] = {}
+        for pod in self._pods:
+            snapshot = snapshots[pod]
+            usage = usages[pod]
+            n_inst, n_cores, n_ways = branch.kernel.be_counters(pod)
+            pod_fields[pod] = (
+                usage.busy_cores + snapshot.busy_cores,
+                min(1.0, usage.membw_fraction + snapshot.membw_fraction),
+                n_inst,
+                n_cores,
+                n_ways,
+                snapshot.total_rate,
+            )
+
+        # Decide + record for every member on the shared observation.
+        # Machines are per-pod, so recording all members before any
+        # apply sees exactly the pre-apply state the scalar per-pod
+        # decide/record/apply interleaving sees. Members that chose the
+        # same action for a pod record the exact same field values, so
+        # one frozen ``TickSample`` per distinct (pod, action) is built
+        # and shared (every member's sla / core capacity comes from the
+        # one scenario service, enforced at construction).
+        sample_cache: Dict[Tuple[str, BeAction], TickSample] = {}
+        for mi in branch.members:
+            member = self._members[mi]
+            actions: Dict[str, BeAction] = {}
+            for pod in self._pods:
+                actions[pod] = member.controllers[pod].decide(load, tail_ms, t=t)
+            member.actions = actions
+            for pod in self._pods:
+                action = actions[pod]
+                metrics = member.metrics[pod]
+                if window_closed:
+                    metrics.tail.record_window_tail(tail_ms)
+                key = (pod, action)
+                sample = sample_cache.get(key)
+                if sample is None:
+                    (busy, membw, n_inst, n_cores, n_ways, be_rate) = (
+                        pod_fields[pod]
+                    )
+                    sla = metrics.sla_ms
+                    sample = TickSample(
+                        t=t,
+                        load=load,
+                        slack=(sla - tail_ms) / sla,
+                        tail_ms=tail_ms,
+                        cpu_utilisation=min(1.0, busy / metrics.total_cores),
+                        membw_utilisation=membw,
+                        be_instances=n_inst,
+                        be_cores=n_cores,
+                        be_llc_ways=n_ways,
+                        be_rate=be_rate,
+                        action=action.value,
+                    )
+                    sample_cache[key] = sample
+                metrics.record_shared_tick(dt, sample, pod_fields[pod][0])
+
+        # Partition members by memo-normalised action vector: a pod
+        # whose memo key is a proven no-op is a wildcard — members
+        # differing only there share one world mutation. The memo
+        # verdict depends only on (pod, action, machine state), so it
+        # is resolved once per distinct action and reused.
+        norm: Dict[Tuple[str, BeAction], Optional[BeAction]] = {}
+        partitions: Dict[Tuple, List[int]] = {}
+        for mi in branch.members:
+            member = self._members[mi]
+            sig_parts = []
+            for pod in self._pods:
+                action = member.actions[pod]
+                pk = (pod, action)
+                verdict = norm.get(pk, _UNRESOLVED)
+                if verdict is _UNRESOLVED:
+                    verdict = (
+                        None
+                        if _memo_key(pod, action, machines[pod]) in branch.memo
+                        else action
+                    )
+                    norm[pk] = verdict
+                sig_parts.append(verdict)
+            partitions.setdefault(tuple(sig_parts), []).append(mi)
+
+        groups = list(partitions.values())
+        if len(groups) > 1:
+            # Lazy divergence forking: clone the pre-apply world once
+            # per extra partition, then let each partition apply its own
+            # actions to its own copy.
+            self.stats.forks += len(groups) - 1
+            clones = [copy.deepcopy(exp) for _ in groups[1:]]
+            branch.members = groups[0]
+            for group, clone in zip(groups[1:], clones):
+                fork = _BakeoffBranch(
+                    clone,
+                    BatchedColocationKernel(clone),
+                    group,
+                    set(branch.memo),
+                )
+                self._branches.append(fork)
+                self._apply(fork, self._members[group[0]].actions, usages)
+        self._apply(branch, self._members[branch.members[0]].actions, usages)
+
+    def _apply(
+        self,
+        branch: _BakeoffBranch,
+        actions: "Dict[str, BeAction]",
+        usages,
+    ) -> None:
+        """Phase 4 actuation in exact scalar order, memoised per branch."""
+        exp = branch.exp
+        machines = branch.kernel._machines
+        for pod in self._pods:
+            machine = machines[pod]
+            run = exp._runs[pod]
+            action = actions[pod]
+            key = _memo_key(pod, action, machine)
+            if key not in branch.memo:
+                v0, mv0 = machine.version, machine.mem_version
+                exp._cpu_llc.apply(action, machine, run.pool)
+                exp._memory.apply(action, machine, run.pool)
+                if (
+                    action is not BeAction.STOP_BE
+                    and machine.version == v0
+                    and machine.mem_version == mv0
+                ):
+                    branch.memo.add(key)
+            exp._frequency.apply(
+                machine,
+                usages[pod].busy_cores,
+                branch.kernel.be_counters(pod)[1],
+            )
+
+    # -- re-merge detection ---------------------------------------------
+
+    def _try_merge(self) -> None:
+        """Collapse branches whose forward-relevant state re-converged."""
+        by_digest: Dict[Tuple, List[_BakeoffBranch]] = {}
+        for branch in self._branches:
+            by_digest.setdefault(_world_digest(branch.exp), []).append(branch)
+        if len(by_digest) == len(self._branches):
+            return
+        survivors: List[_BakeoffBranch] = []
+        for branch in self._branches:
+            group = by_digest.get(_world_digest(branch.exp))
+            if group is None or group[0] is branch:
+                survivors.append(branch)
+        for group in by_digest.values():
+            keep = group[0]
+            k_kills = keep.exp.deployment.cluster.total_be_kills
+            k_susp = sum(
+                m.counters.be_suspensions for m in keep.exp.deployment.cluster
+            )
+            for other in group[1:]:
+                o_kills = other.exp.deployment.cluster.total_be_kills
+                o_susp = sum(
+                    m.counters.be_suspensions
+                    for m in other.exp.deployment.cluster
+                )
+                for mi in other.members:
+                    member = self._members[mi]
+                    member.kill_offset += o_kills - k_kills
+                    member.susp_offset += o_susp - k_susp
+                keep.members.extend(other.members)
+                self.stats.merges += 1
+            keep.members.sort()
+        self._branches = survivors
+
+    # -- results --------------------------------------------------------
+
+    def _member_result(
+        self,
+        member: _BakeoffMember,
+        branch: _BakeoffBranch,
+        lc_load_mean: float,
+        n_ticks: int,
+    ) -> "ColocationResult":
+        from repro.experiments.colocation import ColocationResult
+
+        exp = branch.exp
+        machines = dict(member.metrics)
+        for pod in self._pods:
+            member.metrics[pod].completed_be_throughput = (
+                exp._runs[pod].pool.total_normalized_work
+                / exp.config.duration_s
+            )
+        first = next(iter(machines.values()))
+        return ColocationResult(
+            service=exp.spec.name,
+            duration_s=exp.config.duration_s,
+            lc_load_mean=lc_load_mean,
+            machines=machines,
+            be_kills=exp.deployment.cluster.total_be_kills
+            + member.kill_offset,
+            be_suspensions=sum(
+                m.counters.be_suspensions for m in exp.deployment.cluster
+            )
+            + member.susp_offset,
+            sla_violations=first.sla_violations,
+            worst_tail_ms=max(m.worst_tail_ms for m in machines.values()),
+            events_fired=n_ticks,
+        )
+
+
+def _world_digest(exp: "ColocationExperiment") -> Tuple:
+    """Forward-relevant world state of one experiment, id-free.
+
+    Two branches with equal digests evolve identically from here on, so
+    they may share one world. The digest deliberately **excludes** the
+    monotonic counters that merging virtualises — kill/suspension/launch
+    counters, the pool's job-id counter, ``Machine.version`` — and
+    compares live jobs *positionally* (spec, state, float progress in
+    exact bits, allocation) rather than by id: job ids never enter
+    physics or results. The spec-cycle position IS included — with a
+    multi-spec BE mix it determines which spec the next launch gets.
+    Everything float is compared via ``float.hex`` (bitwise).
+    """
+    pods_state = []
+    for pod, run in exp._runs.items():
+        machine = exp.deployment.servpod(pod).machine
+        pool = run.pool
+        jobs = []
+        for job in pool.jobs():
+            alloc = machine.be_allocation(job.job_id)
+            jobs.append(
+                (
+                    job.spec.name,
+                    job.state.value,
+                    job.normalized_work.hex(),
+                    job.running_seconds.hex(),
+                    None
+                    if alloc is None
+                    else (
+                        alloc.cores,
+                        alloc.llc_ways,
+                        alloc.memory_gb.hex(),
+                        alloc.suspended,
+                    ),
+                )
+            )
+        pods_state.append(
+            (
+                pod,
+                tuple(jobs),
+                float(pool.total_normalized_work).hex(),
+                pool._counter % len(pool.specs),
+                machine.dvfs.frequency(LC_DOMAIN),
+                machine.dvfs.frequency(BE_DOMAIN),
+                machine.dvfs.cap(LC_DOMAIN),
+                machine.dvfs.cap(BE_DOMAIN),
+                machine.nic.be_cap_gbps.hex(),
+                machine.nic.link_scale.hex(),
+                machine.offlined_cores,
+                machine.lost_llc_ways,
+                machine.cpuset.free_cores,
+                machine.llc.free_ways,
+            )
+        )
+    rng = tuple(
+        (name, repr(exp.streams._streams[name].bit_generator.state))
+        for name in sorted(exp.streams._streams)
+    )
+    return (tuple(pods_state), rng)

@@ -270,3 +270,117 @@ class TestAlibabaFleet:
         assert result.events_fired == sum(
             s.events_fired for s in result.instances
         )
+
+
+class TestAlibabaLoadMode:
+    """``load="alibaba"`` replays the bundled trace per instance."""
+
+    def _fleet(self, load, seed=3, services=("Redis",), shards=1):
+        config = FleetConfig(
+            duration_s=40.0, shards=shards, workers=1, zone_size=2
+        )
+        return alibaba_fleet(
+            8,
+            policy="heracles",
+            duration_s=40.0,
+            seed=seed,
+            services=services,
+            config=config,
+            load=load,
+        )
+
+    def test_patterns_are_replayed_trace_days(self):
+        from repro.loadgen.patterns import FlashCrowdLoad, ReplayLoad
+
+        fleet = self._fleet("alibaba")
+        for spec in fleet.instances:
+            pattern = spec.pattern
+            if isinstance(pattern, FlashCrowdLoad):
+                pattern = pattern.base
+            assert isinstance(pattern, ReplayLoad)
+
+    def test_seeded_digest_matches_scalar_reference(self):
+        # The replayed fleet rides the same identity contract as the
+        # diurnal one: bit-identical to the sequential scalar runs.
+        assert (
+            self._fleet("alibaba").run().digest
+            == self._fleet("alibaba").run_reference().digest
+        )
+
+    def test_seeded_digest_is_reproducible(self):
+        assert (
+            self._fleet("alibaba").run().digest
+            == self._fleet("alibaba").run().digest
+        )
+
+    def test_mode_does_not_perturb_jitter_stream(self):
+        # Switching load modes must not reshuffle seeds, BE mixes, or
+        # flash-crowd membership (the jitter PRNG draws identically).
+        replayed = self._fleet("alibaba")
+        diurnal = self._fleet("diurnal")
+        assert [s.seed for s in replayed.instances] == [
+            s.seed for s in diurnal.instances
+        ]
+        assert [s.be_jobs for s in replayed.instances] == [
+            s.be_jobs for s in diurnal.instances
+        ]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            alibaba_fleet(4, load="clarknet")
+
+
+class TestHeterogeneousServices:
+    """Mixed service catalogs across one fleet's instances."""
+
+    def _mixed(self, shards, seed=5):
+        config = FleetConfig(
+            duration_s=40.0, shards=shards, workers=1, zone_size=2
+        )
+        return alibaba_fleet(
+            10,
+            policy="heracles",
+            duration_s=40.0,
+            seed=seed,
+            services=("Redis", "E-commerce"),
+            config=config,
+        )
+
+    def test_services_cycle_across_instances(self):
+        fleet = self._mixed(shards=1)
+        names = [s.service for s in fleet.instances]
+        assert set(names) == {"Redis", "E-commerce"}
+        assert names == [
+            ("Redis", "E-commerce")[k % 2] for k in range(len(names))
+        ]
+
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_mixed_fleet_is_shard_invariant(self, shards):
+        assert (
+            self._mixed(shards=1).run().digest
+            == self._mixed(shards=shards).run().digest
+        )
+
+    def test_mixed_fleet_matches_scalar_reference(self):
+        assert (
+            self._mixed(shards=2).run().digest
+            == self._mixed(shards=1).run_reference().digest
+        )
+
+    def test_service_mix_is_a_zone_key_coordinate(self):
+        from repro.experiments.fleet import zone_cache_key
+
+        config = FleetConfig(duration_s=40.0, zone_size=2)
+        redis_only = alibaba_fleet(
+            4, policy="heracles", duration_s=40.0, config=config
+        )
+        mixed = alibaba_fleet(
+            4,
+            policy="heracles",
+            duration_s=40.0,
+            services=("Redis", "E-commerce"),
+            config=config,
+        )
+        assert zone_cache_key(
+            redis_only.instances[:2], config
+        ) != zone_cache_key(mixed.instances[:2], config)
