@@ -32,7 +32,12 @@ Runs, in order:
    through the shared-physics single pass, asserting bit-identical
    digests, plus a cold/warm bake-off cache round trip that must
    execute zero shared passes when warm, then
-9. the tier-1 test suite (``pytest -x -q`` over ``tests/``).
+9. the storm smoke: a correlated fault storm (seeded rack/AZ/ToR
+   domain events expanded over a small fleet) through the fleet SoA
+   kernel, asserting bit-identity with the sequential scalar
+   reference, plus a cold/warm storm round trip that must execute
+   zero simulations when warm, then
+10. the tier-1 test suite (``pytest -x -q`` over ``tests/``).
 
 Exit code is non-zero on any failure, so CI can gate pool-runner and
 cache regressions without paying for the full figure grids. Usage::
@@ -490,6 +495,68 @@ def smoke_bakeoff() -> None:
     )
 
 
+def smoke_storm() -> None:
+    """The correlated-storm identity gate plus its cache round trip.
+
+    A small stormed fleet (seeded domain events expanded into
+    per-instance fault schedules) through the fleet SoA kernel must
+    match the sequential scalar reference digest, and a warm re-run of
+    the identical storm against a throwaway disk cache must execute
+    zero simulations while reproducing the cold digest.
+    """
+    import shutil
+    import tempfile
+
+    from repro.cache import CacheStore
+    from repro.experiments.fleet import FleetConfig, alibaba_fleet
+    from repro.experiments.scenarios import storm_fleet, storm_identity_probe
+    from repro.faults.topology import CorrelatedFaultSchedule, FleetTopology
+
+    t0 = time.perf_counter()
+    case = {"n_instances": 4, "duration_s": 40.0, "seed": 5, "storm_seed": 7}
+    reference = storm_identity_probe("reference", **case)
+    if storm_identity_probe("fleet", **case) != reference:
+        raise AssertionError("stormed fleet diverged from the scalar reference")
+    if storm_identity_probe("fleet", shards=2, **case) != reference:
+        raise AssertionError("storm results changed with the shard count")
+    identity_s = time.perf_counter() - t0
+
+    config = FleetConfig(duration_s=40.0, shards=2, workers=1, zone_size=2)
+    fleet = alibaba_fleet(
+        8, policy="heracles", duration_s=40.0, seed=5, config=config
+    )
+    topology = FleetTopology.generate(
+        7, n_instances=len(fleet.instances), zone_size=2
+    )
+    storm = CorrelatedFaultSchedule.generate(
+        7, topology, 40.0, events_per_minute=2.0
+    )
+    stormed = storm_fleet(fleet, storm)
+    cache_dir = tempfile.mkdtemp(prefix="rhythm-smoke-storm-")
+    try:
+        store = CacheStore(cache_dir)
+        t0 = time.perf_counter()
+        cold = stormed.run(cache=store)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = stormed.run(cache=store)
+        warm_s = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    if warm.cache.simulated != 0:
+        raise AssertionError(
+            f"warm storm re-run executed simulations: "
+            f"{warm.cache.misses} misses, {warm.cache.skipped} skipped"
+        )
+    if warm.digest != cold.digest:
+        raise AssertionError("warm storm digest diverged from the cold run")
+    print(
+        f"smoke storm OK: {len(storm)}-event storm bit-identical to the "
+        f"scalar reference, shard-count invariant ({identity_s:.1f}s); "
+        f"cold {cold_s:.1f}s -> warm {warm_s:.3f}s, zero simulations warm"
+    )
+
+
 def run_tier1() -> int:
     """The repo's tier-1 suite, exactly as the roadmap invokes it."""
     env = dict(**__import__("os").environ)
@@ -517,6 +584,7 @@ def main() -> int:
     smoke_fleet()
     smoke_fleet_cache()
     smoke_bakeoff()
+    smoke_storm()
     if args.skip_tests:
         return 0
     return run_tier1()

@@ -20,14 +20,18 @@
 #      reproduce the cold run's FleetResult.digest, and the bake-off
 #      smoke: a shared-physics multi-controller pass bit-identical to
 #      independent reference runs, healthy and faulted, with a warm
-#      cache re-run executing zero shared passes)
+#      cache re-run executing zero shared passes, and the storm smoke:
+#      a correlated fault storm bit-identical to the scalar reference
+#      with a warm re-run executing zero simulations)
 #      from scripts/bench_smoke.py, then
 #   3. (opt-in, RHYTHM_BENCH_GATE=1) the full kernel benchmark with a 5x
 #      aggregate-speedup gate (benchmarks/bench_kernel.py --gate 5.0),
 #      the fleet benchmark with its 10x colocation-path gate
-#      (benchmarks/bench_fleet.py --gate 10.0), and the bake-off
+#      (benchmarks/bench_fleet.py --gate 10.0), the bake-off
 #      benchmark with its 2x aggregate-speedup gate
-#      (benchmarks/bench_bakeoff.py --gate 2.0).
+#      (benchmarks/bench_bakeoff.py --gate 2.0), and the storm
+#      benchmark with its 10x warm-cache gate
+#      (benchmarks/bench_storm.py --gate 10.0).
 #
 # Any failure aborts with a non-zero exit code.
 
@@ -54,6 +58,9 @@ if [[ "${RHYTHM_BENCH_GATE:-0}" == "1" ]]; then
   echo
   echo "== bake-off benchmark gate (RHYTHM_BENCH_GATE=1) =="
   python benchmarks/bench_bakeoff.py --gate 2.0
+  echo
+  echo "== storm benchmark gate (RHYTHM_BENCH_GATE=1) =="
+  python benchmarks/bench_storm.py --gate 10.0
 fi
 
 echo

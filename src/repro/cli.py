@@ -404,6 +404,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             services=args.services or _DEFAULT_SERVICES,
             config=config,
             load=args.load,
+            trace_path=args.trace,
         )
         start = time.perf_counter()
         result = fleet.run(cache=cache)
@@ -453,6 +454,226 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(reports, fh, indent=2)
         print(f"wrote fleet report to {args.json}")
+    return 0
+
+
+def cmd_storm(args: argparse.Namespace) -> int:
+    """Run a correlated fault storm over a fleet, same storm per policy."""
+    import time
+
+    from repro.cache import default_store
+    from repro.experiments.fleet import _DEFAULT_SERVICES, FleetConfig
+    from repro.experiments.scenarios import run_fleet_storm
+
+    cache = default_store() if args.cache else None
+    config = FleetConfig(
+        duration_s=args.duration,
+        shards=args.shards,
+        workers=args.workers,
+        zone_size=args.zone_size,
+    )
+    start = time.perf_counter()
+    report = run_fleet_storm(
+        n_machines=args.machines,
+        policies=args.policies,
+        duration_s=args.duration,
+        seed=args.seed,
+        storm_seed=args.storm_seed,
+        events_per_minute=args.events_per_minute,
+        services=args.services or _DEFAULT_SERVICES,
+        load=args.load,
+        config=config,
+        cache=cache,
+        with_baseline=args.baseline,
+    )
+    elapsed = time.perf_counter() - start
+    storm = report.storm
+    print(render_table(
+        ["event", "domain", "at", "for", "magnitude", "blast zones"],
+        [[e.kind.value, f"{e.level} {e.domain}", f"{e.at_s:.0f}s",
+          f"{e.duration_s:.0f}s", f"{e.magnitude:.2f}",
+          ",".join(str(z) for z in storm.blast_zones(e))]
+         for e in storm],
+        title=f"storm seed {args.storm_seed} — {storm.topology.describe()}",
+    ))
+    rows = []
+    for policy, result in report.results:
+        row = [
+            policy, result.n_machines, f"{result.be_throughput:.4f}",
+            f"{result.emu:.4f}", result.sla_violations,
+            f"{result.sla_violation_rate:.2%}",
+        ]
+        if args.baseline:
+            healthy = report.baseline(policy)
+            row.append(f"{result.sla_violations - healthy.sla_violations:+d}")
+        rows.append(row)
+    headers = ["Policy", "Machines", "BE tput", "EMU", "SLA viols", "viol rate"]
+    if args.baseline:
+        headers.append("viols vs healthy")
+    n_zones = storm.topology.n_zones
+    print(render_table(
+        headers, rows,
+        title=f"stormed fleet — {len(storm)} event(s), blast radius "
+              f"{len(storm.affected_zones())}/{n_zones} zone(s), "
+              f"{elapsed:.1f}s wall",
+    ))
+    cache_stats = None
+    for _policy, result in report.results + report.baselines:
+        if result.cache is not None:
+            if cache_stats is None:
+                from repro.experiments.fleet import FleetCacheStats
+
+                cache_stats = FleetCacheStats()
+            cache_stats.merge(result.cache)
+    if cache_stats is not None:
+        print(
+            f"cache: {cache_stats.hits} hits, {cache_stats.misses} misses, "
+            f"{cache_stats.skipped} uncached of {cache_stats.total} zones"
+        )
+    if args.json:
+        payload = {
+            "storm_seed": args.storm_seed,
+            "duration_s": args.duration,
+            "topology": {
+                "regions": storm.topology.n_regions,
+                "azs": storm.topology.n_azs,
+                "racks": storm.topology.n_racks,
+                "zones": storm.topology.n_zones,
+                "instances": storm.topology.n_instances,
+            },
+            "events": [
+                {
+                    "kind": e.kind.value,
+                    "level": e.level,
+                    "domain": e.domain,
+                    "at_s": e.at_s,
+                    "duration_s": e.duration_s,
+                    "magnitude": e.magnitude,
+                    "blast_zones": list(storm.blast_zones(e)),
+                }
+                for e in storm
+            ],
+            "affected_zones": list(storm.affected_zones()),
+            "policies": {
+                policy: {
+                    "machines": result.n_machines,
+                    "be_throughput": result.be_throughput,
+                    "emu": result.emu,
+                    "sla_violations": result.sla_violations,
+                    "sla_violation_rate": result.sla_violation_rate,
+                    "digest": result.digest,
+                }
+                for policy, result in report.results
+            },
+        }
+        if args.baseline:
+            payload["baselines"] = {
+                policy: {
+                    "sla_violations": result.sla_violations,
+                    "emu": result.emu,
+                    "digest": result.digest,
+                }
+                for policy, result in report.baselines
+            }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote storm report to {args.json}")
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    """Run one production-ops scenario: canary, drift, or capacity."""
+    from repro.cache import default_store
+    from repro.experiments.scenarios import run_canary, run_capacity, run_drift
+
+    cache = default_store() if args.cache else None
+    payload = None
+    if args.kind == "canary":
+        report = run_canary(
+            n_machines=args.machines,
+            policy=args.policy,
+            duration_s=args.duration,
+            seed=args.seed,
+            canary_seed=args.scenario_seed,
+            slowdown=args.slowdown,
+            threshold=args.threshold,
+            cache=cache,
+        )
+        print(render_table(
+            ["zone", "canary", "canary tail ms", "baseline tail ms",
+             "ratio", "verdict"],
+            [[v.zone, v.canary_index, f"{v.canary_tail_ms:.3f}",
+              f"{v.baseline_tail_ms:.3f}", f"{v.tail_ratio:.2f}",
+              "REGRESSED" if v.regressed else "ok"]
+             for v in report.verdicts],
+            title=f"canary rollout — slowdown {args.slowdown:.2f}, "
+                  f"threshold {args.threshold:.2f}x, "
+                  f"{report.detection_rate:.0%} of zones flagged",
+        ))
+        payload = {
+            "kind": "canary",
+            "slowdown": report.slowdown,
+            "threshold": report.threshold,
+            "detection_rate": report.detection_rate,
+            "digest": report.result.digest,
+            "baseline_digest": report.baseline.digest,
+            "verdicts": [asdict(v) for v in report.verdicts],
+        }
+    elif args.kind == "drift":
+        report = run_drift(
+            service=args.service,
+            epochs=args.epochs,
+            seed=args.seed,
+            cache=cache,
+        )
+        print(render_table(
+            ["epoch", "grid", "points", "simulated", "cached"],
+            [[e.epoch,
+              f"{e.loads[0]:.2f}..{e.loads[-1]:.2f}",
+              e.sweep_points, e.sweep_executed, e.sweep_cache_hits]
+             for e in report.epochs],
+            title=f"workload drift — {report.service}, "
+                  f"{report.total_executed} point(s) simulated, "
+                  f"{report.total_cached} served from cache",
+        ))
+        payload = {
+            "kind": "drift",
+            "service": report.service,
+            "total_executed": report.total_executed,
+            "total_cached": report.total_cached,
+            "epochs": [asdict(e) for e in report.epochs],
+        }
+    else:  # capacity
+        report = run_capacity(
+            multipliers=tuple(args.multipliers),
+            base_demand=args.base_demand,
+            policy=args.policy,
+            service=args.service,
+            duration_s=args.duration,
+            seed=args.seed,
+            max_violation_rate=args.max_violation_rate,
+            cache=cache,
+        )
+        print(render_table(
+            ["demand x", "instances", "machines", "load/instance",
+             "viol rate"],
+            [[f"{r.multiplier:g}", r.instances, r.machines,
+              f"{r.per_instance_load:.3f}", f"{r.violation_rate:.2%}"]
+             for r in report.rows],
+            title=f"capacity plan — {report.service} under {report.policy}, "
+                  f"SLA target <= {report.max_violation_rate:.0%} violations",
+        ))
+        payload = {
+            "kind": "capacity",
+            "service": report.service,
+            "policy": report.policy,
+            "max_violation_rate": report.max_violation_rate,
+            "rows": [asdict(r) for r in report.rows],
+        }
+    if args.json and payload is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote scenario report to {args.json}")
     return 0
 
 
@@ -664,6 +885,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--load", choices=["diurnal", "alibaba"], default="diurnal",
                    help="per-instance load: parametric diurnal cycles or "
                         "replayed Alibaba cluster-trace-v2018 machine days")
+    p.add_argument("--trace", default=None,
+                   help="external machine_usage CSV to replay (requires "
+                        "--load alibaba; default: the bundled sample)")
     p.add_argument("--services", nargs="*", default=None,
                    help="LC service catalog entries cycled across instances "
                         "(default: Redis); mixing entries gives a "
@@ -673,6 +897,77 @@ def build_parser() -> argparse.ArgumentParser:
                         "ones (also honors RHYTHM_CACHE=off)")
     p.add_argument("--json", default=None, help="dump the fleet report here")
     p.set_defaults(fn=cmd_fleet)
+
+    p = sub.add_parser(
+        "storm",
+        help="correlated fault storm (rack/AZ/ToR events) over a fleet",
+    )
+    p.add_argument("--machines", type=int, default=1000,
+                   help="minimum fleet size in machines (default 1000)")
+    p.add_argument("--duration", type=float, default=240.0,
+                   help="simulated seconds (default 240)")
+    p.add_argument("--seed", type=int, default=0, help="fleet/workload seed")
+    p.add_argument("--storm-seed", type=int, default=1,
+                   help="topology + domain-event seed")
+    p.add_argument("--events-per-minute", type=float, default=1.0,
+                   help="seeded domain-event rate (default 1.0)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="event-engine shards; results are shard-invariant")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (default: RHYTHM_WORKERS or CPUs)")
+    p.add_argument("--zone-size", type=int, default=4,
+                   help="zone width in LC instances (racks are whole zones)")
+    p.add_argument("--policies", nargs="*", default=["rhythm", "heracles"],
+                   choices=["rhythm", "heracles"],
+                   help="controller policies facing the same storm")
+    p.add_argument("--load", choices=["diurnal", "alibaba"], default="diurnal",
+                   help="per-instance load shape (see `fleet --load`)")
+    p.add_argument("--services", nargs="*", default=None,
+                   help="LC services cycled across instances (default Redis)")
+    p.add_argument("--baseline", action="store_true",
+                   help="also run each policy's healthy (storm-free) fleet")
+    p.add_argument("--cache", action=argparse.BooleanOptionalAction, default=True,
+                   help="reuse cached per-zone fleet results; a warm "
+                        "identical storm executes zero simulations")
+    p.add_argument("--json", default=None, help="dump the storm report here")
+    p.set_defaults(fn=cmd_storm)
+
+    p = sub.add_parser(
+        "scenario",
+        help="production-ops scenarios: canary, drift, capacity",
+    )
+    p.add_argument("kind", choices=["canary", "drift", "capacity"],
+                   help="canary=rolling release, drift=re-profiling under "
+                        "workload drift, capacity=machines needed at N× load")
+    p.add_argument("--machines", type=int, default=32,
+                   help="fleet size for the canary scenario (default 32)")
+    p.add_argument("--service", default="Redis",
+                   help="LC service (drift/capacity; default Redis)")
+    p.add_argument("--policy", default="heracles",
+                   choices=["rhythm", "heracles"],
+                   help="fleet policy (canary/capacity; default heracles)")
+    p.add_argument("--duration", type=float, default=120.0,
+                   help="simulated seconds per run (default 120)")
+    p.add_argument("--seed", type=int, default=0, help="workload seed")
+    p.add_argument("--scenario-seed", type=int, default=1,
+                   help="scenario seed (canary picks; default 1)")
+    p.add_argument("--slowdown", type=float, default=0.08,
+                   help="canary 'new version' stall magnitude (default 0.08)")
+    p.add_argument("--threshold", type=float, default=1.10,
+                   help="canary tail-ratio regression threshold (default 1.10)")
+    p.add_argument("--epochs", type=int, default=3,
+                   help="drift epochs (default 3)")
+    p.add_argument("--multipliers", nargs="*", type=float,
+                   default=[1.0, 1.5, 2.0],
+                   help="capacity demand multipliers (default 1.0 1.5 2.0)")
+    p.add_argument("--base-demand", type=float, default=3.0,
+                   help="capacity base demand in load units (default 3.0)")
+    p.add_argument("--max-violation-rate", type=float, default=0.05,
+                   help="capacity SLA target (default 0.05)")
+    p.add_argument("--cache", action=argparse.BooleanOptionalAction, default=True,
+                   help="serve repeated runs from the result cache")
+    p.add_argument("--json", default=None, help="dump the scenario report here")
+    p.set_defaults(fn=cmd_scenario)
 
     p = sub.add_parser(
         "bakeoff",

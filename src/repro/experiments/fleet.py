@@ -915,6 +915,7 @@ def alibaba_fleet(
     flash_crowd_fraction: float = 0.2,
     config: Optional[FleetConfig] = None,
     load: str = "diurnal",
+    trace_path: Optional[str] = None,
 ) -> FleetExperiment:
     """A synthetic Alibaba-shaped fleet of at least ``n_machines`` machines.
 
@@ -928,12 +929,15 @@ def alibaba_fleet(
     ``policy`` selects ``"rhythm"`` (profiled per-pod thresholds) or
     ``"heracles"`` (uniform 0.85/0.10 with suspend-at-limit).
 
-    ``load="alibaba"`` replays the bundled cluster-trace-v2018 machine
-    days (:func:`~repro.loadgen.alibaba.alibaba_machine_load`, cycled
+    ``load="alibaba"`` replays cluster-trace-v2018 machine days (cycled
     across instances) instead of the parametric diurnal cycle; the
     flash-crowd superimposition still applies. The jitter PRNG draws
     identically in both modes, so switching the load mode never
     perturbs which instances get crowds, seeds, or BE mixes.
+    ``trace_path`` points replay at an external ``machine_usage`` CSV
+    (:func:`~repro.loadgen.alibaba.read_machine_usage` parses both the
+    bundled 3-column format and the raw v2018 rows); without it the
+    bundled sample is replayed.
     """
     if n_machines < 1:
         raise ConfigurationError(f"n_machines must be >= 1, got {n_machines}")
@@ -945,13 +949,25 @@ def alibaba_fleet(
         raise ConfigurationError(
             f"load must be 'diurnal' or 'alibaba', got {load!r}"
         )
+    if trace_path is not None and load != "alibaba":
+        raise ConfigurationError(
+            "trace_path requires load='alibaba' (diurnal fleets are "
+            "parametric, not replayed)"
+        )
     if not services:
         raise ConfigurationError("need at least one LC service name")
     trace_ids: Tuple[str, ...] = ()
+    trace = None
     if load == "alibaba":
-        from repro.loadgen.alibaba import alibaba_machine_ids
+        if trace_path is not None:
+            from repro.loadgen.alibaba import read_machine_usage
 
-        trace_ids = alibaba_machine_ids()
+            trace = read_machine_usage(trace_path)
+            trace_ids = trace.machine_ids()
+        else:
+            from repro.loadgen.alibaba import alibaba_machine_ids
+
+            trace_ids = alibaba_machine_ids()
     policy_cache: Dict[str, Dict[str, PodPolicy]] = {}
     pods_per_service: Dict[str, int] = {}
     for name in services:
@@ -975,8 +991,11 @@ def alibaba_fleet(
         if load == "alibaba":
             from repro.loadgen.alibaba import alibaba_machine_load
 
-            pattern: LoadPattern = alibaba_machine_load(
-                trace_ids[k % len(trace_ids)]
+            machine_id = trace_ids[k % len(trace_ids)]
+            pattern: LoadPattern = (
+                trace.load(machine_id)
+                if trace is not None
+                else alibaba_machine_load(machine_id)
             )
         else:
             pattern = DiurnalLoad(

@@ -10,6 +10,9 @@
 - :mod:`repro.faults.executor` — worker crash/hang sabotage for the
   shared process pool, with the guarantee that executor-only faults
   leave experiment results bit-identical.
+- :mod:`repro.faults.topology` — hierarchical failure domains
+  (region/AZ/rack over fleet zones) and correlated storms that expand
+  deterministically into the per-machine fault stream.
 """
 
 from repro.faults.cluster import ClusterFaultInjector, FaultEvent
@@ -21,18 +24,36 @@ from repro.faults.spec import (
     FaultSchedule,
     FaultSpec,
 )
+from repro.faults.topology import (
+    DEFAULT_DOMAIN_KINDS,
+    DOMAIN_FAULT_KINDS,
+    DOMAIN_LEVELS,
+    CorrelatedFaultSchedule,
+    DomainEvent,
+    DomainKind,
+    FleetTopology,
+    merge_schedules,
+)
 from repro.faults.tracing import TraceFaultConfig, corrupt_events
 
 __all__ = [
     "ALL_TARGETS",
+    "DEFAULT_DOMAIN_KINDS",
     "DEFAULT_KINDS",
+    "DOMAIN_FAULT_KINDS",
+    "DOMAIN_LEVELS",
     "ClusterFaultInjector",
+    "CorrelatedFaultSchedule",
+    "DomainEvent",
+    "DomainKind",
     "ExecutorFaultPlan",
     "FaultEvent",
     "FaultKind",
     "FaultSchedule",
     "FaultSpec",
+    "FleetTopology",
     "TraceFaultConfig",
     "corrupt_events",
     "executor_chaos",
+    "merge_schedules",
 ]

@@ -1,4 +1,4 @@
-"""The bundled Alibaba cluster-trace-v2018 machine-usage sample.
+"""Alibaba cluster-trace-v2018 machine-usage loading.
 
 ``data/alibaba_v2018_machine_usage.csv`` carries a downsampled sample
 in the trace's ``machine_usage`` format (machine id, timestamp in
@@ -11,13 +11,24 @@ header. Trace levels feed straight into
 :class:`~repro.loadgen.patterns.ReplayLoad`, so a fleet instance can
 replay a machine's recorded day instead of the parametric
 :class:`~repro.loadgen.patterns.DiurnalLoad`.
+
+:func:`read_machine_usage` additionally loads a *real* trace file: it
+accepts both the bundled 3-column format and the raw, headerless
+v2018 ``machine_usage`` rows (``machine_id, time_stamp,
+cpu_util_percent, mem_util_percent, …``), tolerates the archive's
+messiness — malformed rows are skipped and counted, irregular
+timestamps are bucketed to the sampling interval and gaps
+forward-filled — and is deterministic: the same file bytes always
+produce the same level series, so a fleet replaying an external trace
+has a stable digest (pinned in ``tests/test_loadgen.py``). The fleet
+CLI reaches it via ``fleet --load alibaba --trace FILE``.
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.loadgen.patterns import ReplayLoad
@@ -85,3 +96,150 @@ def alibaba_machine_load(
     return ReplayLoad(
         sample[machine_id], interval_s=ALIBABA_INTERVAL_S, loop=loop
     )
+
+
+# -- external machine_usage trace files -----------------------------------
+
+#: The bundled sample's header row; external files may carry it too.
+_SAMPLE_HEADER = ["machine_id", "timestamp_s", "cpu_util_pct"]
+
+#: Per-path parse cache (external files are read once per process).
+_trace_cache: Dict[str, "MachineUsageTrace"] = {}
+
+
+class MachineUsageTrace:
+    """One parsed ``machine_usage`` file: levels per machine + accounting."""
+
+    def __init__(
+        self,
+        path: str,
+        series: Dict[str, List[float]],
+        interval_s: float,
+        rows_read: int,
+        rows_skipped: int,
+    ) -> None:
+        self.path = path
+        self.series = series
+        self.interval_s = interval_s
+        self.rows_read = rows_read
+        self.rows_skipped = rows_skipped
+
+    def machine_ids(self) -> Tuple[str, ...]:
+        """Machine ids in the trace, sorted."""
+        return tuple(sorted(self.series))
+
+    def load(self, machine_id: Optional[str] = None, loop: bool = True) -> ReplayLoad:
+        """One machine's recorded series as a load pattern."""
+        if machine_id is None:
+            machine_id = self.machine_ids()[0]
+        if machine_id not in self.series:
+            raise ConfigurationError(
+                f"unknown trace machine {machine_id!r} in {self.path}; "
+                f"available: {list(self.machine_ids())[:8]}"
+            )
+        return ReplayLoad(
+            self.series[machine_id], interval_s=self.interval_s, loop=loop
+        )
+
+
+def _parse_row(row: List[str]) -> Optional[Tuple[str, float, float]]:
+    """One trace row -> (machine id, timestamp s, level in [0, 1]).
+
+    Returns ``None`` for malformed rows: too few columns, empty
+    machine id, non-numeric timestamp/utilisation, negative timestamp,
+    or utilisation outside [0, 100]. The v2018 archive leaves
+    utilisation blank on some rows, which lands here too.
+    """
+    if len(row) < 3:
+        return None
+    machine_id = row[0].strip()
+    if not machine_id:
+        return None
+    try:
+        timestamp = float(row[1])
+        util_pct = float(row[2])
+    except ValueError:
+        return None
+    if timestamp < 0 or not (0.0 <= util_pct <= 100.0):
+        return None
+    return machine_id, timestamp, util_pct / 100.0
+
+
+def read_machine_usage(
+    path: "str | Path", interval_s: float = ALIBABA_INTERVAL_S
+) -> MachineUsageTrace:
+    """Parse a ``machine_usage`` CSV into per-machine level series.
+
+    Accepts the bundled 3-column format (with or without its header)
+    and the raw headerless v2018 rows (extra columns are ignored).
+    Deterministic resampling: each machine's timestamps are shifted to
+    its own first sample, bucketed to ``interval_s`` bins (bin value =
+    mean of the bin's samples, in file order), and interior gaps are
+    forward-filled with the previous level — so the resulting
+    :class:`~repro.loadgen.patterns.ReplayLoad` steps uniformly no
+    matter how raggedly the archive sampled. Malformed rows are
+    skipped and counted in ``rows_skipped``; a file with *no* valid
+    rows (empty, comments only, or fully malformed) raises
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    if interval_s <= 0:
+        raise ConfigurationError(
+            f"trace interval must be > 0, got {interval_s}"
+        )
+    resolved = str(Path(path))
+    cached = _trace_cache.get(resolved)
+    if cached is not None and cached.interval_s == interval_s:
+        return cached
+    raw: Dict[str, List[Tuple[float, float]]] = {}
+    rows_read = 0
+    rows_skipped = 0
+    try:
+        fh = open(resolved, newline="", encoding="utf-8")
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read trace file: {exc}") from None
+    with fh:
+        reader = csv.reader(
+            line for line in fh if line.strip() and not line.startswith("#")
+        )
+        for row in reader:
+            if rows_read == 0 and [c.strip() for c in row[:3]] == _SAMPLE_HEADER:
+                continue  # bundled-format header line
+            rows_read += 1
+            parsed = _parse_row(row)
+            if parsed is None:
+                rows_skipped += 1
+                continue
+            machine_id, timestamp, level = parsed
+            raw.setdefault(machine_id, []).append((timestamp, level))
+    if not raw:
+        raise ConfigurationError(
+            f"trace file {resolved} has no valid machine_usage rows "
+            f"({rows_read} read, {rows_skipped} malformed)"
+        )
+    series: Dict[str, List[float]] = {}
+    for machine_id, points in raw.items():
+        t0 = min(t for t, _level in points)
+        bins: Dict[int, List[float]] = {}
+        for t, level in points:
+            bins.setdefault(int(round((t - t0) / interval_s)), []).append(level)
+        levels: List[float] = []
+        last = bins[0][0] if 0 in bins else points[0][1]
+        for k in range(max(bins) + 1):
+            if k in bins:
+                last = sum(bins[k]) / len(bins[k])
+            levels.append(last)
+        series[machine_id] = levels
+    trace = MachineUsageTrace(
+        path=resolved,
+        series=series,
+        interval_s=interval_s,
+        rows_read=rows_read,
+        rows_skipped=rows_skipped,
+    )
+    _trace_cache[resolved] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop the per-path parse cache (tests use this for isolation)."""
+    _trace_cache.clear()

@@ -97,8 +97,9 @@ class ProfileStats:
 
 #: In-process artifact memo, the parallel analogue of the runner's
 #: ``_RHYTHM_CACHE``: repeated grid invocations in one process profile
-#: each (service, seed, mode, probe) at most once even without a store.
-_ARTIFACT_MEMO: Dict[Tuple[str, int, str, bool], RhythmArtifact] = {}
+#: each (service, seed, mode, probe, profile signature) at most once
+#: even without a store.
+_ARTIFACT_MEMO: Dict[Tuple, RhythmArtifact] = {}
 
 
 def clear_profile_memo() -> None:
@@ -123,15 +124,58 @@ def resolve_store(cache: Union[None, bool, CacheStore]) -> Optional[CacheStore]:
 # -- cache keys -----------------------------------------------------------
 
 
+def _profile_signature(cfg: RhythmConfig, probe_duration_s: float) -> Tuple:
+    """The result-affecting profile inputs beyond (service, seed, mode).
+
+    A whole-artifact entry is only valid for the exact sweep grid and
+    sample budget that produced it; the drift scenarios re-profile the
+    same service under *shifting* grids, so these must be memo/key
+    coordinates or a stale artifact would be served across epochs.
+    """
+    return (
+        tuple(float(u) for u in cfg.loads),
+        int(cfg.requests_per_load),
+        int(cfg.tail_samples),
+        float(cfg.min_slacklimit),
+        float(probe_duration_s),
+    )
+
+
+#: The signature of the default pipeline configuration. Artifacts keyed
+#: under it hash exactly as they did before the signature existed, so
+#: default-config entries (the overwhelmingly common case) stay valid.
+_DEFAULT_PROFILE_SIGNATURE = _profile_signature(RhythmConfig(), 600.0)
+
+
 def artifact_cache_key(
     service: ServiceSpec,
     seed: int,
     profiling_mode: str,
     probe_slacklimits: bool,
+    profile_signature: Optional[Tuple] = None,
 ) -> str:
-    """The content address of one service's profiling artifact."""
+    """The content address of one service's profiling artifact.
+
+    ``profile_signature`` (see :func:`_profile_signature`) pins the
+    sweep grid and sample budget; ``None`` or the default signature
+    reproduces the historical key, keeping existing entries warm.
+    """
+    if (
+        profile_signature is None
+        or profile_signature == _DEFAULT_PROFILE_SIGNATURE
+    ):
+        return stable_hash(
+            ("rhythm-artifact", service, seed, profiling_mode, probe_slacklimits)
+        )
     return stable_hash(
-        ("rhythm-artifact", service, seed, profiling_mode, probe_slacklimits)
+        (
+            "rhythm-artifact",
+            service,
+            seed,
+            profiling_mode,
+            probe_slacklimits,
+            profile_signature,
+        )
     )
 
 
@@ -274,7 +318,8 @@ def profile_service_parallel(
     cfg = config or RhythmConfig(profiling_mode=profiling_mode)
     mode = cfg.profiling_mode
     stats = stats if stats is not None else ProfileStats()
-    memo_key = (service.name, seed, mode, probe_slacklimits)
+    signature = _profile_signature(cfg, probe_duration_s)
+    memo_key = (service.name, seed, mode, probe_slacklimits, signature)
     memo_hit = _ARTIFACT_MEMO.get(memo_key)
     if memo_hit is not None:
         stats.artifact_cache_hits += 1
@@ -284,7 +329,9 @@ def profile_service_parallel(
     art_key: Optional[str] = None
     if store is not None:
         try:
-            art_key = artifact_cache_key(service, seed, mode, probe_slacklimits)
+            art_key = artifact_cache_key(
+                service, seed, mode, probe_slacklimits, signature
+            )
         except CacheKeyError:
             art_key = None
         if art_key is not None:

@@ -2380,19 +2380,70 @@ class BakeoffKernel:
             # Lazy divergence forking: clone the pre-apply world once
             # per extra partition, then let each partition apply its own
             # actions to its own copy.
-            self.stats.forks += len(groups) - 1
-            clones = [copy.deepcopy(exp) for _ in groups[1:]]
             branch.members = groups[0]
-            for group, clone in zip(groups[1:], clones):
-                fork = _BakeoffBranch(
-                    clone,
-                    BatchedColocationKernel(clone),
-                    group,
-                    set(branch.memo),
-                )
+            for group in groups[1:]:
+                fork = self._fork(branch, group)
                 self._branches.append(fork)
                 self._apply(fork, self._members[group[0]].actions, usages)
         self._apply(branch, self._members[branch.members[0]].actions, usages)
+
+    # -- copy-on-write world forking --------------------------------------
+
+    def _scenario_shared_state(self, exp) -> List[object]:
+        """The scenario objects every branch may share by reference.
+
+        A fork must duplicate exactly the state a branch can *mutate*:
+        machine/cluster state, BE pools, RNG streams, the load
+        generator, the fault injector, tail estimators. Everything else
+        about the scenario is decision-independent and read-only for
+        the whole run — the frozen service/BE specs, the load pattern,
+        the config (and its fault schedule), the stateless
+        subcontrollers, and the experiment's own controllers (the
+        bake-off consults only *member* controllers, never the
+        scenario experiment's; enforced by every member carrying a
+        fresh ``build_controllers`` set). Sharing these turns the fork
+        deep-copy into a copy-on-write snapshot of just the mutable
+        world, which is what lets the engine win even on
+        high-divergence rosters (see ``bench_bakeoff.py``).
+        """
+        shared: List[object] = [
+            exp.spec,
+            exp.pattern,
+            exp.config,
+            exp._cpu_llc,
+            exp._frequency,
+            exp._memory,
+            exp._network,
+        ]
+        if exp.config.faults is not None:
+            shared.append(exp.config.faults)
+            shared.extend(exp.config.faults.faults)
+        shared.extend(exp.be_specs)
+        shared.extend(exp.controllers.values())
+        return shared
+
+    def _fork(self, branch: _BakeoffBranch, group: List[int]) -> _BakeoffBranch:
+        """Clone ``branch``'s world for a diverging member partition.
+
+        The deep copy is seeded with a memo mapping every shared
+        scenario object to itself (:meth:`_scenario_shared_state`), so
+        only the mutable world state is duplicated. The clone's
+        ``_batched`` mirror is already detached (done once at
+        construction), so no SoA arrays are copied either — the fork's
+        fresh :class:`BatchedColocationKernel` rebuilds them lazily.
+        """
+        self.stats.forks += 1
+        exp = branch.exp
+        memo: Dict[int, object] = {
+            id(obj): obj for obj in self._scenario_shared_state(exp)
+        }
+        clone = copy.deepcopy(exp, memo)
+        return _BakeoffBranch(
+            clone,
+            BatchedColocationKernel(clone),
+            group,
+            set(branch.memo),
+        )
 
     def _apply(
         self,

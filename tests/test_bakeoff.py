@@ -209,6 +209,34 @@ class TestBakeoffKernelIdentity:
         assert kernel.stats.merges >= 1
         assert len(kernel._branches) == 1
 
+    def test_high_divergence_roster_under_faults(self):
+        # The worst case for copy-on-write forking: five members whose
+        # scripts disagree early and often, under an active fault
+        # schedule (so forked clones carry live injector state), with a
+        # mid-run flip that lets some branches re-converge. Every member
+        # must still match its independent reference run bit for bit.
+        service = redis_service()
+        faults = FaultSchedule.generate(11, 60.0, faults_per_minute=6.0)
+        kernel = assert_members_identical(
+            service,
+            {
+                "grower": scripted({}, BeAction.ALLOW_BE_GROWTH),
+                "stopper": scripted({}, BeAction.STOP_BE),
+                "flipper": scripted(
+                    {0: BeAction.ALLOW_BE_GROWTH, 1: BeAction.STOP_BE},
+                    BeAction.STOP_BE,
+                ),
+                "late": scripted(
+                    {3: BeAction.STOP_BE}, BeAction.ALLOW_BE_GROWTH
+                ),
+                "heracles": heracles_controllers,
+            },
+            DiurnalLoad(base=0.5, amplitude=0.25, period_s=60.0),
+            5,
+            ColocationConfig(duration_s=60.0, faults=faults),
+        )
+        assert kernel.stats.forks >= 3
+
     def test_rejects_empty_roster_and_missing_pods(self):
         service = redis_service()
         exp = ColocationExperiment(

@@ -132,3 +132,158 @@ class TestCacheCli:
         assert main(["cache", "clear"]) == 0
         assert "1" in capsys.readouterr().out
         assert store.stats().entries == 0
+
+
+class TestStormCli:
+    def test_storm_defaults(self):
+        args = build_parser().parse_args(["storm"])
+        assert args.machines == 1000
+        assert args.storm_seed == 1
+        assert args.events_per_minute == 1.0
+        assert args.policies == ["rhythm", "heracles"]
+        assert args.cache is True
+        assert args.baseline is False
+
+    def test_storm_runs_small(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("RHYTHM_CACHE_DIR", str(tmp_path / "cachedir"))
+        out_file = tmp_path / "storm.json"
+        argv = [
+            "storm", "--machines", "8", "--duration", "40",
+            "--shards", "2", "--workers", "1", "--seed", "3",
+            "--storm-seed", "7", "--events-per-minute", "2",
+            "--zone-size", "2", "--policies", "heracles",
+            "--baseline", "--json", str(out_file),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "storm seed 7" in out
+        assert "blast zones" in out
+        assert "viols vs healthy" in out
+        import json as _json
+
+        report = _json.loads(out_file.read_text())
+        assert report["topology"]["instances"] == 4
+        assert report["events"]
+        for event in report["events"]:
+            assert event["blast_zones"]
+        assert report["policies"]["heracles"]["digest"]
+        assert report["baselines"]["heracles"]["digest"]
+        # A warm CLI re-run of the identical storm is all cache hits.
+        assert main(argv) == 0
+        capsys.readouterr()
+        warm = _json.loads(out_file.read_text())
+        assert warm["policies"]["heracles"]["digest"] == (
+            report["policies"]["heracles"]["digest"]
+        )
+
+    def test_storm_shard_count_does_not_change_digest(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("RHYTHM_CACHE_DIR", str(tmp_path / "cachedir"))
+        digests = []
+        for shards in ("1", "2"):
+            out_file = tmp_path / f"storm-{shards}.json"
+            assert main([
+                "storm", "--machines", "8", "--duration", "40",
+                "--shards", shards, "--workers", "1",
+                "--zone-size", "2", "--policies", "heracles",
+                "--no-cache", "--json", str(out_file),
+            ]) == 0
+            capsys.readouterr()
+            import json as _json
+
+            digests.append(
+                _json.loads(out_file.read_text())["policies"]["heracles"]["digest"]
+            )
+        assert digests[0] == digests[1]
+
+
+class TestScenarioCli:
+    def test_scenario_requires_kind(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+    def test_scenario_defaults(self):
+        args = build_parser().parse_args(["scenario", "canary"])
+        assert args.kind == "canary"
+        assert args.slowdown == 0.08
+        assert args.threshold == 1.10
+        assert args.multipliers == [1.0, 1.5, 2.0]
+
+    def test_canary_runs_small(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("RHYTHM_CACHE_DIR", str(tmp_path / "cachedir"))
+        out_file = tmp_path / "canary.json"
+        assert main([
+            "scenario", "canary", "--machines", "8", "--duration", "40",
+            "--seed", "3", "--slowdown", "0.5", "--json", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "canary rollout" in out
+        assert "REGRESSED" in out
+        import json as _json
+
+        report = _json.loads(out_file.read_text())
+        assert report["kind"] == "canary"
+        assert report["detection_rate"] == 1.0
+        assert report["digest"] != report["baseline_digest"]
+
+    def test_drift_runs_small(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("RHYTHM_CACHE_DIR", str(tmp_path / "cachedir"))
+        out_file = tmp_path / "drift.json"
+        assert main([
+            "scenario", "drift", "--epochs", "2", "--json", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "workload drift" in out
+        import json as _json
+
+        report = _json.loads(out_file.read_text())
+        assert report["kind"] == "drift"
+        assert len(report["epochs"]) == 2
+        # The cached second epoch only simulates the newly-entered point.
+        assert report["epochs"][1]["sweep_cache_hits"] > 0
+
+    def test_capacity_runs_small(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("RHYTHM_CACHE_DIR", str(tmp_path / "cachedir"))
+        out_file = tmp_path / "capacity.json"
+        assert main([
+            "scenario", "capacity", "--multipliers", "1.0", "2.0",
+            "--duration", "40", "--json", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "capacity plan" in out
+        import json as _json
+
+        report = _json.loads(out_file.read_text())
+        assert report["kind"] == "capacity"
+        machines = [row["machines"] for row in report["rows"]]
+        assert machines == sorted(machines)
+
+
+class TestTraceCli:
+    def test_fleet_trace_flag(self, capsys, monkeypatch, tmp_path):
+        from repro.loadgen.alibaba import DATA_FILE
+
+        monkeypatch.setenv("RHYTHM_CACHE_DIR", str(tmp_path / "cachedir"))
+        assert main([
+            "fleet", "--machines", "4", "--duration", "20",
+            "--workers", "1", "--zone-size", "1", "--policies", "heracles",
+            "--load", "alibaba", "--trace", str(DATA_FILE), "--no-cache",
+        ]) == 0
+        assert "heracles" in capsys.readouterr().out
+
+    def test_fleet_trace_requires_alibaba_load(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("RHYTHM_CACHE_DIR", str(tmp_path / "cachedir"))
+        assert main([
+            "fleet", "--machines", "4", "--duration", "20",
+            "--trace", "somefile.csv",
+        ]) != 0
+        assert "error:" in capsys.readouterr().err
+
+    def test_fleet_missing_trace_fails_cleanly(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("RHYTHM_CACHE_DIR", str(tmp_path / "cachedir"))
+        assert main([
+            "fleet", "--machines", "4", "--duration", "20",
+            "--load", "alibaba", "--trace", str(tmp_path / "absent.csv"),
+        ]) != 0
+        assert "error:" in capsys.readouterr().err

@@ -305,3 +305,86 @@ class TestShardTaskKey:
             [(0, 0, 2, None), (2, 4, 2, None)]
         )
         assert sparse == (((0, 2), (4, 2)),)
+
+
+class TestStormCacheInteraction:
+    """Correlated storms invalidate exactly their blast-radius zones.
+
+    Storm faults ride inside ``FleetInstanceSpec.faults``, which
+    ``zone_cache_key`` already hashes — so a zone's key changes iff the
+    storm's blast radius intersects it, a warm re-run of the identical
+    storm executes zero simulations, and editing one domain event
+    re-simulates only that event's blast radius.
+    """
+
+    def stormed_pair(self, events_per_minute: float = 2.0, storm_seed: int = 7):
+        from repro.experiments.scenarios import storm_fleet
+        from repro.faults.topology import CorrelatedFaultSchedule, FleetTopology
+
+        fleet = small_fleet(n_instances=6)
+        topology = FleetTopology.generate(
+            storm_seed, n_instances=len(fleet.instances), zone_size=2
+        )
+        storm = CorrelatedFaultSchedule.generate(
+            storm_seed,
+            topology,
+            fleet.config.duration_s,
+            events_per_minute=events_per_minute,
+        )
+        return fleet, storm, storm_fleet(fleet, storm)
+
+    def zone_keys(self, fleet):
+        size = fleet.config.zone_size
+        return [
+            zone_cache_key(fleet.instances[start:start + size], fleet.config)
+            for start in range(0, len(fleet.instances), size)
+        ]
+
+    def test_zone_key_changes_iff_blast_radius_intersects(self):
+        fleet, storm, stormed = self.stormed_pair()
+        touched = set(storm.affected_zones())
+        assert 0 < len(touched) < len(self.zone_keys(fleet))
+        for zone, (healthy_key, stormed_key) in enumerate(
+            zip(self.zone_keys(fleet), self.zone_keys(stormed))
+        ):
+            if zone in touched:
+                assert stormed_key != healthy_key
+            else:
+                assert stormed_key == healthy_key
+
+    def test_warm_identical_storm_zero_simulations(self, store):
+        _fleet, _storm, stormed = self.stormed_pair()
+        cold = stormed.run(cache=store)
+        warm = stormed.run(cache=store)
+        assert warm.cache.simulated == 0
+        assert warm.cache.hits == cold.cache.total
+        assert warm.digest == cold.digest
+
+    def test_one_event_change_recomputes_only_blast_radius(self, store):
+        from repro.experiments.scenarios import storm_fleet
+
+        fleet, storm, stormed = self.stormed_pair(events_per_minute=3.0)
+        cold = stormed.run(cache=store)
+        zones = cold.cache.total
+        # Drop the event with the smallest blast radius; only its zones'
+        # merged fault schedules change.
+        dropped = min(storm.events, key=lambda e: len(storm.blast_zones(e)))
+        changed = set(storm.blast_zones(dropped))
+        assert changed and len(changed) < zones
+        reduced = dataclasses.replace(
+            storm, events=tuple(e for e in storm.events if e != dropped)
+        )
+        edited = storm_fleet(fleet, reduced).run(cache=store)
+        assert edited.cache.misses == len(changed)
+        assert edited.cache.hits == zones - len(changed)
+
+    def test_storm_entries_are_shard_invariant(self, store):
+        _fleet, _storm, stormed = self.stormed_pair()
+        cold = stormed.run(cache=store)
+        for shards in (1, 3):
+            re_run = FleetExperiment(
+                stormed.instances,
+                dataclasses.replace(stormed.config, shards=shards),
+            ).run(cache=store)
+            assert re_run.cache.simulated == 0
+            assert re_run.digest == cold.digest

@@ -269,3 +269,150 @@ class TestAlibabaTraceSample:
         again = FleetExperiment(specs, config).run()
         assert first.digest == again.digest
         assert first.events_fired > 0
+
+
+class TestReadMachineUsage:
+    """External machine_usage trace files: tolerant parsing, stable digests."""
+
+    @pytest.fixture(autouse=True)
+    def isolate_trace_cache(self):
+        from repro.loadgen.alibaba import clear_trace_cache
+
+        clear_trace_cache()
+        yield
+        clear_trace_cache()
+
+    def write(self, tmp_path, text, name="trace.csv"):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_reads_bundled_sample_format(self):
+        from repro.loadgen.alibaba import (
+            DATA_FILE,
+            alibaba_machine_ids,
+            alibaba_machine_load,
+            read_machine_usage,
+        )
+
+        trace = read_machine_usage(DATA_FILE)
+        assert trace.machine_ids() == alibaba_machine_ids()
+        assert trace.rows_skipped == 0
+        for machine_id in trace.machine_ids():
+            assert trace.load(machine_id).levels == pytest.approx(
+                alibaba_machine_load(machine_id).levels
+            )
+
+    def test_headerless_v2018_rows_with_extra_columns(self, tmp_path):
+        from repro.loadgen.alibaba import read_machine_usage
+
+        path = self.write(
+            tmp_path,
+            "m_1,0,40,55,ignored\n"
+            "m_1,300,60,57,ignored\n"
+            "m_2,0,10,20\n",
+        )
+        trace = read_machine_usage(path)
+        assert trace.machine_ids() == ("m_1", "m_2")
+        assert trace.load("m_1").levels == pytest.approx([0.40, 0.60])
+        assert trace.rows_read == 3 and trace.rows_skipped == 0
+
+    def test_malformed_rows_skipped_and_counted(self, tmp_path):
+        from repro.loadgen.alibaba import read_machine_usage
+
+        path = self.write(
+            tmp_path,
+            "machine_id,timestamp_s,cpu_util_pct\n"   # header tolerated
+            "m_1,0,40\n"
+            "m_1,300,\n"          # blank utilisation (the archive does this)
+            "m_1,600,not-a-number\n"
+            ",900,50\n"           # empty machine id
+            "m_1,-5,50\n"         # negative timestamp
+            "m_1,900,140\n"       # utilisation out of range
+            "short-row\n"
+            "# a comment line\n"
+            "m_1,900,80\n",
+        )
+        trace = read_machine_usage(path)
+        assert trace.rows_skipped == 6
+        assert trace.load("m_1").levels == pytest.approx([0.40, 0.40, 0.40, 0.80])
+
+    def test_irregular_timestamps_bucketed_and_gaps_filled(self, tmp_path):
+        from repro.loadgen.alibaba import read_machine_usage
+
+        # Samples shifted to the machine's own first timestamp, bucketed
+        # to the interval (bin mean), interior gaps forward-filled.
+        path = self.write(
+            tmp_path,
+            "m_1,1000,20\n"
+            "m_1,1140,40\n"       # same bin as 1000 (offset 140 < 150)
+            "m_1,1310,60\n"       # bin 1
+            "m_1,1900,80\n",      # bin 3; bin 2 is a gap
+        )
+        trace = read_machine_usage(path)
+        assert trace.load("m_1").levels == pytest.approx(
+            [0.30, 0.60, 0.60, 0.80]
+        )
+
+    def test_empty_or_fully_malformed_file_raises(self, tmp_path):
+        from repro.loadgen.alibaba import read_machine_usage
+
+        with pytest.raises(ConfigurationError, match="no valid"):
+            read_machine_usage(self.write(tmp_path, ""))
+        with pytest.raises(ConfigurationError, match="no valid"):
+            read_machine_usage(self.write(tmp_path, "# only a comment\n"))
+        with pytest.raises(ConfigurationError, match="no valid"):
+            read_machine_usage(self.write(tmp_path, "bad\nrows\nonly\n"))
+
+    def test_missing_file_and_bad_interval_raise(self, tmp_path):
+        from repro.loadgen.alibaba import read_machine_usage
+
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            read_machine_usage(tmp_path / "absent.csv")
+        with pytest.raises(ConfigurationError, match="interval"):
+            read_machine_usage(tmp_path / "absent.csv", interval_s=0.0)
+
+    def test_unknown_machine_raises_with_catalog(self, tmp_path):
+        from repro.loadgen.alibaba import read_machine_usage
+
+        trace = read_machine_usage(self.write(tmp_path, "m_1,0,40\n"))
+        with pytest.raises(ConfigurationError, match="m_404"):
+            trace.load("m_404")
+
+    def test_parse_cached_per_path(self, tmp_path):
+        from repro.loadgen.alibaba import read_machine_usage
+
+        path = self.write(tmp_path, "m_1,0,40\n")
+        assert read_machine_usage(path) is read_machine_usage(path)
+        # A different interval re-parses rather than serving stale bins.
+        other = read_machine_usage(path, interval_s=60.0)
+        assert other.interval_s == 60.0
+
+    def test_seeded_fleet_digest_stable_over_trace(self, tmp_path):
+        from repro.experiments.fleet import FleetConfig, alibaba_fleet
+        from repro.loadgen.alibaba import DATA_FILE, clear_trace_cache
+
+        config = FleetConfig(duration_s=30.0, workers=1, zone_size=2)
+        first = alibaba_fleet(
+            4, policy="heracles", duration_s=30.0, seed=9,
+            config=config, load="alibaba", trace_path=str(DATA_FILE),
+        ).run()
+        clear_trace_cache()  # force a fresh parse of the same bytes
+        again = alibaba_fleet(
+            4, policy="heracles", duration_s=30.0, seed=9,
+            config=config, load="alibaba", trace_path=str(DATA_FILE),
+        ).run()
+        assert first.digest == again.digest
+        # The bundled sample via --trace equals the built-in loader path.
+        builtin = alibaba_fleet(
+            4, policy="heracles", duration_s=30.0, seed=9,
+            config=config, load="alibaba",
+        ).run()
+        assert first.digest == builtin.digest
+
+    def test_trace_path_requires_alibaba_load(self):
+        from repro.experiments.fleet import alibaba_fleet
+
+        with pytest.raises(ConfigurationError, match="alibaba"):
+            alibaba_fleet(4, duration_s=30.0, load="diurnal",
+                          trace_path="whatever.csv")

@@ -415,3 +415,81 @@ class TestHistogramTailProperties:
         tracker = HistogramTailTracker()
         assert tracker.roll_window() is None
         assert tracker.worst_tail is None and tracker.window_tails == ()
+
+
+class TestStormExpansionPurity:
+    """The correlated-storm expansion is a pure function of (seed, topology).
+
+    ``storm_schedule_probe`` canonicalises a generated topology, its
+    event schedule, and the full per-instance expansion into one repr
+    string; equal strings mean byte-identical schedules. The battery:
+    50 seeded topologies recomputed in-process, reproduced by fork-
+    started children, by spawn-started children (slow), and under
+    different ``PYTHONHASHSEED`` values.
+    """
+
+    def test_fifty_seeded_topologies_fork_identical(self):
+        import multiprocessing
+
+        from repro.experiments.scenarios import storm_schedule_probe
+
+        parent = [storm_schedule_probe(seed) for seed in range(50)]
+        assert parent == [storm_schedule_probe(seed) for seed in range(50)]
+        assert len(set(parent)) == 50, "distinct seeds must give distinct storms"
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no fork start method")
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(2) as pool:
+            children = pool.map(storm_schedule_probe, range(50))
+        assert children == parent
+
+    @pytest.mark.slow
+    def test_spawn_children_reproduce_schedules(self):
+        import multiprocessing
+
+        from repro.experiments.scenarios import storm_schedule_probe
+
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(2) as pool:
+            children = pool.map(storm_schedule_probe, range(10))
+        assert children == [storm_schedule_probe(seed) for seed in range(10)]
+
+    def test_expansion_survives_hash_randomization(self):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = (
+            "import hashlib;"
+            "from repro.experiments.scenarios import storm_schedule_probe;"
+            "blob = ''.join(storm_schedule_probe(s) for s in range(5));"
+            "print(hashlib.sha256(blob.encode()).hexdigest())"
+        )
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        outs = []
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH=src)
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            outs.append(proc.stdout.strip())
+        assert outs[0] == outs[1]
+
+    @given(
+        seed=st.integers(0, 10_000),
+        n_instances=st.integers(1, 64),
+        zone_size=st.integers(1, 5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_probe_total_for_arbitrary_shapes(self, seed, n_instances, zone_size):
+        from repro.experiments.scenarios import storm_schedule_probe
+
+        first = storm_schedule_probe(
+            seed, n_instances=n_instances, zone_size=zone_size
+        )
+        again = storm_schedule_probe(
+            seed, n_instances=n_instances, zone_size=zone_size
+        )
+        assert first == again
